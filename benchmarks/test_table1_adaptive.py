@@ -1,0 +1,46 @@
+"""E2 — Table 1, row 2 (Theorem 1.3, the paper's main result).
+
+Paper claim: randomized, α = exp(-sqrt(log n log log n)) (i.e. 1/n^{o(1)}),
+*adaptive* adversary, any bandwidth, O(1) rounds — supporting n^{2-o(1)}
+corrupted edges per round in total.
+
+Measured: the LDC + sketch pipeline end to end under the rushing adaptive
+flip adversary: delivery accuracy, rounds, sketch-repair statistics, and the
+substituted Reed–Muller LDC's parameters (q, margins).  Absolute round
+counts carry simulation-scale constants (DESIGN.md §2: the t << alpha*n
+asymptotic regime starts far above laptop n); the *resilience* against the
+rushing adversary is the reproduced phenomenon.
+"""
+
+import pytest
+
+from repro.adversary import AdaptiveAdversary
+from repro.core import AllToAllInstance, run_protocol
+from repro.core.adaptive import AdaptiveAllToAll
+
+CASES = [(32, 1 / 32), (64, 1 / 32)]
+
+
+@pytest.mark.parametrize("n,alpha", CASES)
+def test_adaptive_pipeline(benchmark, n, alpha, table_printer):
+    def run():
+        instance = AllToAllInstance.random(n, width=1, seed=5)
+        protocol = AdaptiveAllToAll()
+        report = run_protocol(protocol, instance,
+                              AdaptiveAdversary(alpha, seed=6),
+                              bandwidth=32, seed=7)
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    extra = report.extra
+    table_printer(
+        f"E2 Table1-row2 (Thm 1.3) adaptive, n={n}",
+        f"{'n':>5} {'alpha':>8} {'rounds':>7} {'accuracy':>9} "
+        f"{'repaired':>9} {'sketch-fails':>13} {'ldc-q':>6}",
+        [f"{report.n:>5} {report.alpha:>8.4f} {report.rounds:>7} "
+         f"{report.accuracy:>9.4%} {extra['recovered']:>9} "
+         f"{extra['failed_sketches']:>13} {extra['ldc_query_count']:>6}"])
+    # the w.h.p. guarantee, empirically: overwhelmingly correct delivery
+    # despite Θ(alpha n^2) corrupted edges per round
+    assert report.accuracy >= 0.97
+    assert report.entries_corrupted_in_transit > 0

@@ -1,0 +1,58 @@
+"""E1 — Table 1, row 1 (Theorem 1.2).
+
+Paper claim: randomized, α = Θ(1) sufficiently small, non-adaptive
+adversary, B = Ω(log n), O(1) rounds.
+
+Measured: rounds and delivery accuracy of ``NonAdaptiveAllToAll`` across n
+and across non-adaptive strategies; rounds must stay flat in n.
+"""
+
+import pytest
+
+from repro.adversary import (
+    NonAdaptiveAdversary,
+    RandomRegularStrategy,
+    RoundRobinMatchingStrategy,
+)
+from repro.core import AllToAllInstance, run_protocol
+from repro.core.nonadaptive import NonAdaptiveAllToAll
+
+SIZES = [32, 64, 128]
+ALPHA = 1 / 32
+
+
+def run_one(n, strategy, seed):
+    instance = AllToAllInstance.random(n, width=1, seed=seed)
+    adversary = NonAdaptiveAdversary(ALPHA, strategy, seed=seed)
+    return run_protocol(NonAdaptiveAllToAll(), instance, adversary,
+                        bandwidth=32, seed=seed + 1)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_rounds_constant_in_n(benchmark, n, table_printer):
+    report = benchmark.pedantic(
+        run_one, args=(n, RandomRegularStrategy(), 7), rounds=1, iterations=1)
+    table_printer(
+        f"E1 Table1-row1 (Thm 1.2) nonadaptive, n={n}",
+        f"{'n':>6} {'alpha':>8} {'rounds':>7} {'accuracy':>9}",
+        [f"{report.n:>6} {report.alpha:>8.4f} {report.rounds:>7} "
+         f"{report.accuracy:>9.4%}"])
+    assert report.perfect
+
+
+def test_strategy_sweep(benchmark, table_printer):
+    def sweep():
+        rows = []
+        for label, strategy in [("random-regular", RandomRegularStrategy()),
+                                ("matching", RoundRobinMatchingStrategy())]:
+            report = run_one(64, strategy, 11)
+            rows.append((label, report))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table_printer(
+        "E1 Table1-row1 strategy sweep (n=64)",
+        f"{'strategy':>16} {'rounds':>7} {'accuracy':>9}",
+        [f"{label:>16} {r.rounds:>7} {r.accuracy:>9.4%}"
+         for label, r in rows])
+    assert all(r.perfect for _, r in rows)

@@ -1,0 +1,79 @@
+"""Adversary gallery: how each protocol fares against each attack.
+
+Sweeps the fault patterns discussed in the paper — random budget-regular
+fault graphs, mobile perfect matchings (the pattern that kills the prior
+spanning-tree approach), bursty bipartite blocks, targeted victims, and a
+sliding "virus" window — against the naive baseline and the deterministic
+protocols, and prints a delivery-accuracy matrix.
+
+Run:  python examples/adversary_gallery.py
+"""
+
+from repro.adversary import (
+    AdaptiveAdversary,
+    BlockStrategy,
+    NonAdaptiveAdversary,
+    NullAdversary,
+    RoundRobinMatchingStrategy,
+    SlidingWindowAdversary,
+    TargetedAdaptiveAdversary,
+)
+from repro.adversary import StaticStrategy
+from repro.baseline import (
+    FischerParterStyleAllToAll,
+    NaiveAllToAll,
+    RetransmissionAllToAll,
+)
+from repro.core import AllToAllInstance, run_protocol
+from repro.core.det_logn import DetLogAllToAll
+from repro.core.det_sqrt import DetSqrtAllToAll
+
+N = 64
+ALPHA = 1 / 32
+
+ADVERSARIES = [
+    ("fault-free", lambda: NullAdversary()),
+    ("matching (α=1/n)", lambda: NonAdaptiveAdversary(
+        1 / N, RoundRobinMatchingStrategy(), seed=1)),
+    ("random-regular", lambda: NonAdaptiveAdversary(ALPHA, seed=2)),
+    ("blocks", lambda: NonAdaptiveAdversary(ALPHA, BlockStrategy(), seed=3)),
+    ("adaptive-flip", lambda: AdaptiveAdversary(ALPHA, seed=4)),
+    ("adaptive-drop", lambda: AdaptiveAdversary(ALPHA,
+                                                content_attack="drop",
+                                                seed=5)),
+    ("targeted", lambda: TargetedAdaptiveAdversary(ALPHA, victims=[0],
+                                                   seed=6)),
+    ("sliding-window", lambda: SlidingWindowAdversary(ALPHA, seed=7)),
+    ("static-persistent", lambda: NonAdaptiveAdversary(
+        ALPHA, StaticStrategy(), content_attack="flip", seed=8)),
+]
+
+PROTOCOLS = [
+    ("naive", NaiveAllToAll),
+    ("retransmit", lambda: RetransmissionAllToAll(5)),
+    ("fp23-baseline", FischerParterStyleAllToAll),
+    ("det-sqrt", DetSqrtAllToAll),
+    ("det-logn", DetLogAllToAll),
+]
+
+
+def main() -> None:
+    instance = AllToAllInstance.random(N, width=2, seed=11)
+    header = f"{'adversary':>18} |" + "".join(
+        f" {name:>14}" for name, _ in PROTOCOLS)
+    print(header)
+    print("-" * len(header))
+    for adv_name, adv_factory in ADVERSARIES:
+        row = f"{adv_name:>18} |"
+        for _, proto_factory in PROTOCOLS:
+            report = run_protocol(proto_factory(), instance, adv_factory(),
+                                  bandwidth=16, seed=0)
+            row += f" {report.accuracy:>13.2%}"
+        print(row)
+    print("\nnote: the resilient protocols stay at 100% under every attack "
+          "within their α budget;\nthe naive exchange loses exactly the "
+          "adversary's per-round allowance.")
+
+
+if __name__ == "__main__":
+    main()

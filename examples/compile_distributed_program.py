@@ -1,0 +1,61 @@
+"""Compile a fault-free Congested Clique program to run under attack.
+
+The paper's end product is a *compiler*: take any r-round fault-free
+Congested Clique algorithm and simulate it, round by round, in the mobile
+α-BD adversary model (Definition 1 reduces each round to AllToAllComm).
+
+This example runs a 3-round gossip computation three ways:
+
+1. ground truth (no network, no faults);
+2. compiled through the **naive** exchange under attack — the node states
+   diverge immediately;
+3. compiled through the resilient **det-logn** protocol (Theorem 1.4) under
+   the *same* attack — the states match the ground truth exactly.
+
+Run:  python examples/compile_distributed_program.py
+"""
+
+import numpy as np
+
+from repro.adversary import AdaptiveAdversary
+from repro.baseline import NaiveAllToAll
+from repro.core.cc_programs import RotationGossip
+from repro.core.compiler import compile_and_run
+from repro.core.det_logn import DetLogAllToAll
+
+N = 64
+ALPHA = 1 / 32
+
+
+def main() -> None:
+    program = RotationGossip(rounds=3, width=8)
+    truth = program.run_fault_free(N, seed=5)
+    print(f"program: {program.name}, {program.rounds} fault-free rounds, "
+          f"{program.width}-bit messages, n={N}")
+    print(f"ground-truth final state (first 8 nodes): {truth[:8]}\n")
+
+    naive = compile_and_run(program, NaiveAllToAll(), n=N,
+                            adversary=AdaptiveAdversary(ALPHA, seed=2),
+                            bandwidth=16, seed=5)
+    print(f"naive compilation under α={ALPHA:.4f} adaptive adversary:")
+    print(f"  per-round message accuracy: "
+          f"{[f'{a:.3f}' for a in naive.per_round_message_accuracy]}")
+    print(f"  final state correct: {naive.final_state_correct}\n")
+
+    resilient = compile_and_run(program, DetLogAllToAll(), n=N,
+                                adversary=AdaptiveAdversary(ALPHA, seed=2),
+                                bandwidth=16, seed=5)
+    print(f"det-logn compilation under the same adversary:")
+    print(f"  per-round message accuracy: "
+          f"{[f'{a:.3f}' for a in resilient.per_round_message_accuracy]}")
+    print(f"  final state correct: {resilient.final_state_correct}")
+    print(f"  simulated rounds: {resilient.simulated_rounds} "
+          f"(overhead x{resilient.overhead:.1f} per source round)")
+
+    assert not naive.final_state_correct
+    assert resilient.final_state_correct
+    print("\nresilient compilation reproduced the fault-free execution ✓")
+
+
+if __name__ == "__main__":
+    main()

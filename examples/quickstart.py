@@ -1,0 +1,38 @@
+"""Quickstart: solve AllToAllComm under a mobile Byzantine edge adversary.
+
+Every node u holds one message for every node v; a rushing adaptive
+adversary corrupts up to an alpha fraction of each node's incident edges in
+*every round* (a fresh set each round — Theta(alpha n^2) corrupted edges per
+round in total).  The deterministic sqrt(n)-grid protocol (Theorem 1.5 of
+Fischer & Parter, PODC 2025) still delivers every message.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.adversary import AdaptiveAdversary
+from repro.core import AllToAllInstance, run_protocol
+from repro.core.det_sqrt import DetSqrtAllToAll
+
+
+def main() -> None:
+    n = 64                      # nodes (a perfect square for this protocol)
+    alpha = 1 / 32              # faulty-degree fraction: 2 edges per node
+    instance = AllToAllInstance.random(n, width=1, seed=7)
+
+    adversary = AdaptiveAdversary(alpha, content_attack="flip", seed=3)
+    report = run_protocol(DetSqrtAllToAll(), instance, adversary,
+                          bandwidth=16, seed=0)
+
+    print(f"nodes                      : {report.n}")
+    print(f"faulty-degree fraction     : {report.alpha:.4f} "
+          f"(budget {int(report.alpha * n)} edges/node/round)")
+    print(f"messages corrupted in transit: "
+          f"{report.entries_corrupted_in_transit}")
+    print(f"rounds used                : {report.rounds}")
+    print(f"delivery accuracy          : {report.accuracy:.2%}")
+    assert report.perfect, "every message should have been delivered"
+    print("\nall n^2 messages delivered despite the mobile adversary ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""The resilient routing primitive, hands on (Theorem 4.1 + Corollary 4.8).
+
+Demonstrates the SuperMessagesRouting building block directly:
+
+* a broadcast of an O(n)-bit string from one node to everyone;
+* a routing instance where every node is source and target of several
+  super-messages, including multi-target messages;
+* the same instance executed under an adaptive flip adversary — identical
+  outputs, a few extra rounds.
+
+Run:  python examples/routing_playground.py
+"""
+
+import numpy as np
+
+from repro.adversary import AdaptiveAdversary, NullAdversary
+from repro.cliquesim import CongestedClique
+from repro.core.routing import SuperMessage, SuperMessageRouter, broadcast
+from repro.utils.rng import make_rng
+
+N = 64
+
+
+def build_instance(rng):
+    messages = []
+    for u in range(N):
+        # slot 0: a 20-bit unicast to the antipodal node
+        messages.append(SuperMessage.make(
+            u, 0, rng.integers(0, 2, 20).astype(np.uint8),
+            [(u + N // 2) % N]))
+        # slot 1: an 8-bit multicast to three neighbours
+        messages.append(SuperMessage.make(
+            u, 1, rng.integers(0, 2, 8).astype(np.uint8),
+            [(u + 1) % N, (u + 2) % N, (u + 3) % N]))
+    return messages
+
+
+def run(adversary, label):
+    rng = make_rng(99)
+    messages = build_instance(rng)
+    net = CongestedClique(N, bandwidth=8, adversary=adversary)
+    router = SuperMessageRouter(net)
+    result = router.route(messages, label="playground")
+    delivered = sum(
+        np.array_equal(result.outputs[t][msg.key],
+                       np.array(msg.bits, dtype=np.uint8))
+        for msg in messages for t in msg.targets)
+    total = sum(len(msg.targets) for msg in messages)
+    print(f"{label:>24}: {delivered}/{total} (source, target) deliveries, "
+          f"{result.rounds} rounds, codewords of {result.codeword_bits} bits, "
+          f"{result.batches} batches")
+
+
+def main() -> None:
+    # broadcast (Corollary 4.8)
+    net = CongestedClique(N, bandwidth=8,
+                          adversary=AdaptiveAdversary(1 / 32, seed=1))
+    router = SuperMessageRouter(net)
+    payload = make_rng(1).integers(0, 2, 48).astype(np.uint8)
+    received = broadcast(router, source=0, bits=payload)
+    agree = sum(np.array_equal(received[v], payload) for v in range(N))
+    print(f"broadcast under adversary : {agree}/{N} nodes got the exact "
+          f"payload in {net.rounds_used} rounds")
+
+    run(NullAdversary(), "routing, fault-free")
+    run(AdaptiveAdversary(1 / 32, seed=5), "routing, adaptive α=1/32")
+
+
+if __name__ == "__main__":
+    main()

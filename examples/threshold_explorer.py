@@ -1,0 +1,46 @@
+"""Explore each protocol's resilience threshold at a given n.
+
+Sweeps the faulty-degree fraction alpha upward per protocol until delivery
+degrades or the simulation profile declares the configuration outside its
+decoding budget — an empirical rendering of Table 1's alpha column.
+
+Run:  python examples/threshold_explorer.py
+"""
+
+from repro.adversary import AdaptiveAdversary, NonAdaptiveAdversary
+from repro.analysis.sweeps import resilience_threshold
+from repro.core.det_logn import DetLogAllToAll
+from repro.core.det_sqrt import DetSqrtAllToAll
+from repro.core.nonadaptive import NonAdaptiveAllToAll
+
+N = 64
+ALPHAS = [1 / 256, 1 / 128, 1 / 64, 1 / 32, 3 / 64, 1 / 16]
+
+
+def main() -> None:
+    cases = [
+        ("det-sqrt", DetSqrtAllToAll,
+         lambda a: AdaptiveAdversary(a, seed=1)),
+        ("det-logn", DetLogAllToAll,
+         lambda a: AdaptiveAdversary(a, seed=2)),
+        ("nonadaptive", NonAdaptiveAllToAll,
+         lambda a: NonAdaptiveAdversary(a, seed=3)),
+    ]
+    print(f"resilience thresholds at n={N} "
+          f"(accuracy bar: perfect delivery)\n")
+    print(f"{'protocol':>12} {'max alpha':>10} {'edges/node':>11} "
+          f"{'first failing alpha':>20}")
+    for name, factory, adversary in cases:
+        result = resilience_threshold(factory, N, adversary, ALPHAS,
+                                      bandwidth=32, seed=5)
+        failing = result.first_failure_alpha
+        print(f"{name:>12} {result.max_alpha:>10.4f} "
+              f"{int(result.max_alpha * N):>11} "
+              f"{failing if failing is not None else '—':>20}")
+    print("\npaper shapes: det-logn & nonadaptive tolerate constant alpha; "
+          "det-sqrt's threshold\nscales as Θ(1/√n) (re-run with other N to "
+          "see it move).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim so that editable installs work without the ``wheel`` package
+(this environment is offline; pip's PEP 517 path needs bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""repro — resilient all-to-all communication in the Congested Clique.
+
+Reproduction of Fischer & Parter, *All-to-All Communication with Mobile Edge
+Adversary: Almost Linearly More Faults, For Free* (PODC 2025).
+
+Public API highlights:
+
+* :mod:`repro.cliquesim` — the Congested Clique simulator.
+* :mod:`repro.adversary` — mobile bounded-faulty-degree Byzantine adversaries.
+* :mod:`repro.core` — the super-message routing scheme and the four
+  AllToAllComm protocols of Table 1, plus the round-by-round compiler.
+* :mod:`repro.coding`, :mod:`repro.sketch`, :mod:`repro.coverfree`,
+  :mod:`repro.hashing`, :mod:`repro.fields` — substrates.
+* :mod:`repro.baseline` — comparison baselines (naive exchange and a
+  Fischer–Parter 2023-style tree-upcast compiler).
+"""
+
+__version__ = "1.0.0"

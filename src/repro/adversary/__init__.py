@@ -1,0 +1,46 @@
+"""Mobile bounded-faulty-degree Byzantine adversaries (Section 2)."""
+
+from repro.adversary.base import Adversary, NullAdversary, RoundOutcome, RoundView
+from repro.adversary.budget import (
+    FaultBudgetViolation,
+    fault_degrees,
+    greedy_symmetric_selection,
+    max_faulty_degree,
+    validate_fault_set,
+)
+from repro.adversary.nonadaptive import NonAdaptiveAdversary
+from repro.adversary.adaptive import (
+    AdaptiveAdversary,
+    SlidingWindowAdversary,
+    TargetedAdaptiveAdversary,
+)
+from repro.adversary.strategies import (
+    BlockStrategy,
+    CONTENT_ATTACKS,
+    NoEdgesStrategy,
+    RandomRegularStrategy,
+    RoundRobinMatchingStrategy,
+    StaticStrategy,
+)
+
+__all__ = [
+    "Adversary",
+    "NullAdversary",
+    "RoundOutcome",
+    "RoundView",
+    "FaultBudgetViolation",
+    "fault_degrees",
+    "greedy_symmetric_selection",
+    "max_faulty_degree",
+    "validate_fault_set",
+    "NonAdaptiveAdversary",
+    "AdaptiveAdversary",
+    "SlidingWindowAdversary",
+    "TargetedAdaptiveAdversary",
+    "BlockStrategy",
+    "CONTENT_ATTACKS",
+    "NoEdgesStrategy",
+    "RandomRegularStrategy",
+    "RoundRobinMatchingStrategy",
+    "StaticStrategy",
+]

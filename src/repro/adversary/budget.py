@@ -1,0 +1,78 @@
+"""Faulty-degree accounting (the α-BD constraint of Section 2).
+
+For a round's fault set ``F_i`` (a symmetric boolean adjacency matrix over
+the clique), ``deg(F_i)`` is the largest number of faulty edges incident to
+any node.  An α-BD adversary must keep ``deg(F_i) <= floor(alpha * n)`` in
+every round — *that* is the whole point of the model: the constraint is on
+the degree, not the cardinality, so up to ``alpha * n^2 / 2`` edges may be
+corrupted per round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class FaultBudgetViolation(Exception):
+    """The adversary tried to exceed its per-node fault budget."""
+
+
+def max_faulty_degree(n: int, alpha: float) -> int:
+    """The per-node budget floor(alpha * n)."""
+    if not 0 <= alpha <= 1:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    return int(np.floor(alpha * n))
+
+
+def fault_degrees(edges: np.ndarray) -> np.ndarray:
+    """Per-node number of incident faulty edges."""
+    edges = np.asarray(edges, dtype=bool)
+    return edges.sum(axis=1)
+
+
+def validate_fault_set(edges: np.ndarray, n: int, alpha: float) -> None:
+    """Check symmetry, empty diagonal, and the degree budget; raises
+    :class:`FaultBudgetViolation` on any violation."""
+    edges = np.asarray(edges, dtype=bool)
+    if edges.shape != (n, n):
+        raise FaultBudgetViolation(
+            f"fault set has shape {edges.shape}, expected ({n}, {n})")
+    if np.any(np.diag(edges)):
+        raise FaultBudgetViolation("self-loops cannot be faulty edges")
+    if not np.array_equal(edges, edges.T):
+        raise FaultBudgetViolation("fault set must be symmetric (undirected)")
+    budget = max_faulty_degree(n, alpha)
+    degrees = fault_degrees(edges)
+    worst = int(degrees.max()) if degrees.size else 0
+    if worst > budget:
+        raise FaultBudgetViolation(
+            f"deg(F) = {worst} exceeds budget floor(alpha*n) = {budget}")
+
+
+def greedy_symmetric_selection(priorities: np.ndarray, budget: int,
+                               rng: np.random.Generator) -> np.ndarray:
+    """Build a maximal fault set under the degree budget, preferring
+    high-priority edges.
+
+    ``priorities[u, v]`` scores the *undirected* edge {u, v} (the upper
+    triangle is read); random tie-breaking.  Returns a symmetric boolean
+    matrix with all degrees <= budget.  This is the work-horse of the
+    adaptive strategies: score edges by how much damage corrupting them
+    does, then greedily saturate the budget.
+    """
+    n = priorities.shape[0]
+    mask = np.zeros((n, n), dtype=bool)
+    if budget <= 0:
+        return mask
+    iu, iv = np.triu_indices(n, k=1)
+    scores = priorities[iu, iv].astype(np.float64)
+    scores += rng.random(scores.size) * 1e-9  # tie-break
+    order = np.argsort(-scores)
+    degrees = np.zeros(n, dtype=np.int64)
+    for idx in order:
+        u, v = int(iu[idx]), int(iv[idx])
+        if degrees[u] < budget and degrees[v] < budget:
+            mask[u, v] = mask[v, u] = True
+            degrees[u] += 1
+            degrees[v] += 1
+    return mask

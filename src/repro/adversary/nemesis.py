@@ -1,0 +1,91 @@
+"""Protocol-aware nemesis adversaries.
+
+These adversaries know the protocol being executed (its schedule is public,
+so an adaptive adversary knows which logical step each round implements) and
+place their faulty-degree budget exactly where it hurts.
+
+:class:`FP23MatchingNemesis` is the paper's Section 3 counter-example made
+executable: against the Fischer–Parter-style relay-star baseline it corrupts,
+in every round, precisely the edges that carry *all* copies of a victim set
+of message pairs — and every fault set it uses is a (partial) **matching**,
+i.e. faulty degree 1, the weakest possible mobile adversary (α = 1/n).
+The experiment E9 shows the baseline never delivers the victim pairs while
+the bounded-degree protocols shrug off vastly larger fault sets.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.adversary.base import Adversary, RoundView
+from repro.adversary.strategies import corrupt_flip
+
+
+class FP23MatchingNemesis(Adversary):
+    """Degree-1 mobile adversary that defeats the relay-star baseline.
+
+    Victim pairs: ``(v + 1, v)`` for even ``v`` (chosen so that every fault
+    set below is a matching).  Per labelled round:
+
+    * ``fp23/direct``   — corrupt edges ``(v+1, v)``;
+    * ``fp23/hop2-ρ``   — corrupt ``(relay, v)`` where
+      ``relay = (v+1) + v + c_ρ mod n`` (the baseline's public schedule).
+
+    Every copy of every victim message crosses exactly one corrupted edge
+    (only the *last* hop — flipping both hops would cancel out), so the
+    majority vote at ``v`` sees only corrupted values for those pairs.
+    """
+
+    def __init__(self, num_relays: int = 5, seed: int = 0):
+        super().__init__(alpha=0.0, seed=seed)  # alpha set in begin_protocol
+        self.num_relays = num_relays
+
+    def begin_protocol(self, n: int) -> None:
+        super().begin_protocol(n)
+        self.alpha = 1.0 / n  # budget: exactly one faulty edge per node
+
+    def _victims(self):
+        # spacing victims 4 apart keeps the per-round fault sets collision-
+        # free matchings (relays 2v+1+c and senders v+1 rarely coincide), so
+        # nearly every victim pair has *all* of its copies corrupted
+        n = self.n
+        return [((v + 1) % n, v) for v in range(0, n, 4)]
+
+    def _shift(self, rho: int) -> int:
+        n = self.n
+        return (rho * (n // (self.num_relays + 1) + 1) + 1) % n
+
+    def select_edges(self, view: RoundView) -> np.ndarray:
+        n = self.n
+        mask = np.zeros((n, n), dtype=bool)
+        label = view.label or ""
+        degrees = np.zeros(n, dtype=np.int64)
+
+        def try_add(a: int, b: int) -> None:
+            if a == b:
+                return
+            if degrees[a] >= 1 or degrees[b] >= 1:
+                return
+            mask[a, b] = mask[b, a] = True
+            degrees[a] += 1
+            degrees[b] += 1
+
+        hop2 = re.match(r".*fp23/hop2-(\d+)", label)
+        if "fp23/direct" in label:
+            for u, v in self._victims():
+                try_add(u, v)
+        elif hop2:
+            shift = self._shift(int(hop2.group(1)))
+            for u, v in self._victims():
+                try_add((u + v + shift) % n, v)
+        return mask
+
+    def corrupt(self, view: RoundView, edges: np.ndarray) -> np.ndarray:
+        return corrupt_flip(view.intended, np.asarray(edges, dtype=bool),
+                            view.width, self._rng)
+
+    def victim_pairs(self):
+        """The (u, v) pairs this nemesis attacks (for verification)."""
+        return self._victims()

@@ -1,0 +1,52 @@
+"""The non-adaptive α-NBD adversary (Section 2).
+
+The fault-set schedule ``F_1, F_2, ...`` is fixed before the protocol starts:
+``schedule_edges`` sees only the round index (plus the adversary's private
+randomness, which by definition is independent of the protocol's coins).
+Message *content* on the scheduled faulty edges may still depend on the full
+communication history and the currently intended messages (footnote 3 of the
+paper) — that is handled by the content attack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary.base import Adversary, RoundView
+from repro.adversary.strategies import (
+    CONTENT_ATTACKS,
+    RandomRegularStrategy,
+)
+from repro.utils.rng import derive
+
+
+class NonAdaptiveAdversary(Adversary):
+    """α-NBD: oblivious edge schedule, adaptive message content."""
+
+    def __init__(self, alpha: float, edge_strategy=None,
+                 content_attack: str = "flip", seed: int = 0):
+        super().__init__(alpha, seed)
+        self.edge_strategy = edge_strategy or RandomRegularStrategy()
+        if content_attack not in CONTENT_ATTACKS:
+            raise ValueError(f"unknown content attack {content_attack!r}")
+        self.content_attack = CONTENT_ATTACKS[content_attack]
+        self._schedule_rng = None
+
+    def begin_protocol(self, n: int) -> None:
+        super().begin_protocol(n)
+        # private schedule randomness: independent of everything the
+        # protocol does, as the non-adaptive model demands
+        self._schedule_rng = derive(self.seed, f"nbd-schedule:{n}")
+
+    def schedule_edges(self, round_index: int) -> np.ndarray:
+        """F_i as a function of the round index alone."""
+        return self.edge_strategy(self.n, self.budget, round_index,
+                                  self._schedule_rng)
+
+    def select_edges(self, view: RoundView) -> np.ndarray:
+        # deliberately ignores view.intended / view.history
+        return self.schedule_edges(view.index)
+
+    def corrupt(self, view: RoundView, edges: np.ndarray) -> np.ndarray:
+        return self.content_attack(view.intended, np.asarray(edges, bool),
+                                   view.width, self._rng)

@@ -1,0 +1,158 @@
+"""Edge-selection and content-corruption strategies.
+
+Edge strategies produce a symmetric fault set within the degree budget; the
+:class:`~repro.adversary.nonadaptive.NonAdaptiveAdversary` and
+:class:`~repro.adversary.adaptive.AdaptiveAdversary` wrappers decide what
+information a strategy may see (round index only vs. the full rushing view).
+
+The gallery covers the fault patterns the paper discusses:
+
+* ``RoundRobinMatchingStrategy`` — a single perfect matching per round
+  (α = 1/n): the pattern that breaks the Fischer–Parter 2023 spanning-tree
+  approach (Section 3) yet is trivial for the bounded-degree protocols.
+* ``RandomRegularStrategy`` — budget-regular random fault graphs, saturating
+  the full Θ(α n²) edges-per-round allowance.
+* ``BlockStrategy`` — corrupt complete bipartite blocks between node
+  intervals (bursty, spatially-correlated faults).
+* ``StaticStrategy`` — the classical *non-mobile* adversary (same F every
+  round), for ablations comparing mobile vs. static corruption.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _tournament_matching(n: int, round_index: int) -> np.ndarray:
+    """Perfect matching number ``round_index`` of the circle method.
+
+    For even ``n`` this enumerates ``n - 1`` pairwise edge-disjoint perfect
+    matchings; for odd ``n`` one node sits out per matching.
+    """
+    mask = np.zeros((n, n), dtype=bool)
+    m = n if n % 2 == 0 else n + 1
+    r = round_index % (m - 1)
+    # circle method over labels 0..m-1 where label m-1 is fixed
+    def real(label: int) -> Optional[int]:
+        return label if label < n else None
+
+    a, b = real(m - 1), real(r)
+    if a is not None and b is not None and a != b:
+        mask[a, b] = mask[b, a] = True
+    for i in range(1, m // 2):
+        x = real((r + i) % (m - 1))
+        y = real((r - i) % (m - 1))
+        if x is not None and y is not None and x != y:
+            mask[x, y] = mask[y, x] = True
+    return mask
+
+
+class RoundRobinMatchingStrategy:
+    """One perfect matching per round, rotating through the tournament
+    schedule so the fault set is genuinely mobile."""
+
+    def __call__(self, n: int, budget: int, round_index: int,
+                 rng: np.random.Generator) -> np.ndarray:
+        if budget < 1:
+            return np.zeros((n, n), dtype=bool)
+        return _tournament_matching(n, round_index)
+
+
+class RandomRegularStrategy:
+    """Union of ``budget`` edge-disjoint matchings chosen at random — an
+    (approximately) budget-regular fault graph with Θ(budget * n) edges."""
+
+    def __call__(self, n: int, budget: int, round_index: int,
+                 rng: np.random.Generator) -> np.ndarray:
+        mask = np.zeros((n, n), dtype=bool)
+        if budget < 1:
+            return mask
+        m = n if n % 2 == 0 else n + 1
+        choices = rng.permutation(m - 1)[:budget]
+        for matching_index in choices:
+            mask |= _tournament_matching(n, int(matching_index))
+        return mask
+
+
+class BlockStrategy:
+    """Corrupt all edges between two rotating intervals of ``budget`` nodes
+    (complete-bipartite bursts; every member has degree <= budget)."""
+
+    def __call__(self, n: int, budget: int, round_index: int,
+                 rng: np.random.Generator) -> np.ndarray:
+        mask = np.zeros((n, n), dtype=bool)
+        if budget < 1:
+            return mask
+        size = min(budget, n // 2)
+        start = (round_index * size) % n
+        first = (np.arange(start, start + size) % n)
+        second = (np.arange(start + size, start + 2 * size) % n)
+        mask[np.ix_(first, second)] = True
+        mask[np.ix_(second, first)] = True
+        np.fill_diagonal(mask, False)
+        return mask
+
+
+class StaticStrategy:
+    """A *non-mobile* fault set: the same random budget-regular graph every
+    round (the classical static model, for ablation E11)."""
+
+    def __init__(self):
+        self._cached: Optional[np.ndarray] = None
+
+    def __call__(self, n: int, budget: int, round_index: int,
+                 rng: np.random.Generator) -> np.ndarray:
+        if self._cached is None or self._cached.shape[0] != n:
+            self._cached = RandomRegularStrategy()(n, budget, 0, rng)
+        return self._cached
+
+
+class NoEdgesStrategy:
+    """Select nothing (content strategies then have no effect)."""
+
+    def __call__(self, n: int, budget: int, round_index: int,
+                 rng: np.random.Generator) -> np.ndarray:
+        return np.zeros((n, n), dtype=bool)
+
+
+# -- content corruption ------------------------------------------------------
+
+def corrupt_random(intended: np.ndarray, mask: np.ndarray, width: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Replace faulty entries with uniform random values (also fabricates
+    messages on silent faulty edges)."""
+    delivered = intended.copy()
+    count = int(mask.sum())
+    if count:
+        delivered[mask] = rng.integers(0, 1 << width, size=count,
+                                       dtype=np.int64)
+    return delivered
+
+
+def corrupt_flip(intended: np.ndarray, mask: np.ndarray, width: int,
+                 rng: np.random.Generator) -> np.ndarray:
+    """Flip every bit of every faulty message — guarantees maximal Hamming
+    damage on messages that were actually sent; fabricates all-ones on
+    silent faulty edges."""
+    delivered = intended.copy()
+    all_ones = (1 << width) - 1
+    flipped = np.where(intended >= 0, intended ^ all_ones, all_ones)
+    delivered[mask] = flipped[mask]
+    return delivered
+
+
+def corrupt_drop(intended: np.ndarray, mask: np.ndarray, width: int,
+                 rng: np.random.Generator) -> np.ndarray:
+    """Erase faulty messages entirely (crash-style omission faults)."""
+    delivered = intended.copy()
+    delivered[mask] = -1
+    return delivered
+
+
+CONTENT_ATTACKS = {
+    "random": corrupt_random,
+    "flip": corrupt_flip,
+    "drop": corrupt_drop,
+}

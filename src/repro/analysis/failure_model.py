@@ -1,0 +1,96 @@
+"""Stochastic failure models used to size protocol parameters.
+
+The adaptive compiler's success hinges on every LDC line decoding; the
+models here predict line/sketch/protocol failure probabilities from
+(q, margin, per-query corruption), and are validated against measurements in
+``benchmarks/test_table1_adaptive.py``.  The same Poisson machinery backs
+the LDC designer in ``repro.core.adaptive``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def poisson_tail(mu: float, threshold: int) -> float:
+    """P(Poisson(mu) > threshold)."""
+    if mu <= 0:
+        return 0.0
+    term = math.exp(-mu)
+    cdf = term
+    for k in range(1, threshold + 1):
+        term *= mu / k
+        cdf += term
+    return max(0.0, 1.0 - cdf)
+
+
+def binomial_tail(n: int, p: float, threshold: int) -> float:
+    """P(Binomial(n, p) > threshold), exact."""
+    if p <= 0:
+        return 0.0
+    if p >= 1:
+        return 1.0 if threshold < n else 0.0
+    total = 0.0
+    log_p = math.log(p)
+    log_q = math.log(1 - p)
+    for k in range(threshold + 1, n + 1):
+        log_term = (math.lgamma(n + 1) - math.lgamma(k + 1)
+                    - math.lgamma(n - k + 1) + k * log_p + (n - k) * log_q)
+        total += math.exp(log_term)
+    return min(1.0, total)
+
+
+@dataclass(frozen=True)
+class LineModel:
+    """One LDC decoding line: q queries, each corrupted independently with
+    probability ``per_query``, Berlekamp–Welch margin ``margin``."""
+
+    queries: int
+    margin: int
+    per_query: float
+
+    @property
+    def failure_probability(self) -> float:
+        return binomial_tail(self.queries, self.per_query, self.margin)
+
+
+@dataclass(frozen=True)
+class SketchModel:
+    """A sketch decodes only if all of its lines decode."""
+
+    lines: int
+    line: LineModel
+
+    @property
+    def failure_probability(self) -> float:
+        p_line = self.line.failure_probability
+        return 1.0 - (1.0 - p_line) ** self.lines
+
+
+@dataclass(frozen=True)
+class AdaptiveRunModel:
+    """End-to-end: n * num_parts sketches, plus the recovery capacity."""
+
+    n: int
+    num_parts: int
+    sketch: SketchModel
+
+    @property
+    def expected_failed_sketches(self) -> float:
+        return self.n * self.num_parts * self.sketch.failure_probability
+
+    @property
+    def expected_wrong_entries(self) -> float:
+        """Each failed sketch strands at most the corrupted messages of one
+        (group, node) cell — approximately alpha*n / num_parts of them."""
+        return self.expected_failed_sketches  # ~1 corruption per cell
+
+
+def exposure_per_query(alpha: float, transport_hops: int = 2,
+                       straddle_slack: float = 1.25) -> float:
+    """Per-query corruption probability: each queried value crosses
+    ``transport_hops`` engine rounds (scatter + answer), each corrupting an
+    alpha fraction of every node's incident edges; the slack covers values
+    straddling chunk boundaries."""
+    return min(1.0, transport_hops * straddle_slack * alpha)

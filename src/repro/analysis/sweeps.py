@@ -1,0 +1,111 @@
+"""Reusable experiment sweeps: resilience thresholds and round scaling.
+
+These are the measurement loops behind the Table 1 summary benchmark and
+the threshold-explorer example, exposed as library functions so downstream
+users can evaluate their own protocols/adversaries on the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.adversary.base import Adversary
+from repro.core.alltoall import run_protocol
+from repro.core.messages import AllToAllInstance, ProtocolReport
+from repro.core.profiles import ProfileError
+from repro.core.protocol import AllToAllProtocol
+
+
+@dataclass
+class SweepPoint:
+    """One (alpha, outcome) measurement."""
+
+    alpha: float
+    supported: bool
+    report: Optional[ProtocolReport] = None
+
+    @property
+    def accuracy(self) -> float:
+        return self.report.accuracy if self.report else 0.0
+
+
+@dataclass
+class ThresholdResult:
+    """Outcome of a resilience-threshold sweep."""
+
+    protocol: str
+    n: int
+    points: List[SweepPoint] = field(default_factory=list)
+    accuracy_bar: float = 1.0
+
+    @property
+    def max_alpha(self) -> float:
+        """Largest alpha meeting the accuracy bar."""
+        passing = [p.alpha for p in self.points
+                   if p.supported and p.accuracy >= self.accuracy_bar]
+        return max(passing) if passing else 0.0
+
+    @property
+    def first_failure_alpha(self) -> Optional[float]:
+        for point in sorted(self.points, key=lambda p: p.alpha):
+            if not point.supported or point.accuracy < self.accuracy_bar:
+                return point.alpha
+        return None
+
+
+def resilience_threshold(
+    protocol_factory: Callable[[], AllToAllProtocol],
+    n: int,
+    adversary_factory: Callable[[float], Adversary],
+    alphas,
+    accuracy_bar: float = 1.0,
+    width: int = 1,
+    bandwidth: int = 32,
+    seed: int = 0,
+) -> ThresholdResult:
+    """Sweep alphas ascending; record accuracy until the protocol fails or
+    declares the alpha unsupported (ProfileError)."""
+    instance = AllToAllInstance.random(n, width=width, seed=seed)
+    result = ThresholdResult(protocol=protocol_factory().name, n=n,
+                             accuracy_bar=accuracy_bar)
+    for alpha in sorted(alphas):
+        try:
+            report = run_protocol(protocol_factory(), instance,
+                                  adversary_factory(alpha),
+                                  bandwidth=bandwidth, seed=seed + 1)
+            result.points.append(SweepPoint(alpha=alpha, supported=True,
+                                            report=report))
+        except ProfileError:
+            result.points.append(SweepPoint(alpha=alpha, supported=False))
+            break
+        if result.points[-1].accuracy < accuracy_bar:
+            break
+    return result
+
+
+@dataclass
+class ScalingPoint:
+    n: int
+    rounds: int
+    accuracy: float
+
+
+def round_scaling(
+    protocol_factory: Callable[[], AllToAllProtocol],
+    sizes,
+    adversary_factory: Callable[[int], Adversary],
+    width: int = 1,
+    bandwidth: int = 32,
+    seed: int = 0,
+) -> List[ScalingPoint]:
+    """Measure rounds and accuracy across n (the E1/E3/E4 series)."""
+    points = []
+    for n in sizes:
+        instance = AllToAllInstance.random(n, width=width, seed=seed)
+        report = run_protocol(protocol_factory(), instance,
+                              adversary_factory(n), bandwidth=bandwidth,
+                              seed=seed + 1)
+        points.append(ScalingPoint(n=n, rounds=report.rounds,
+                                   accuracy=report.accuracy))
+    return points

@@ -1,0 +1,12 @@
+"""Comparison baselines: naive exchange and the Fischer–Parter 2023-style
+spanning-star majority compiler (the prior work the paper improves on)."""
+
+from repro.baseline.fischer_parter import FischerParterStyleAllToAll
+from repro.baseline.naive import NaiveAllToAll
+from repro.baseline.retransmission import RetransmissionAllToAll
+
+__all__ = [
+    "FischerParterStyleAllToAll",
+    "NaiveAllToAll",
+    "RetransmissionAllToAll",
+]

@@ -1,0 +1,27 @@
+"""Naive baseline: one unprotected direct exchange.
+
+Every node sends ``m_{u,v}`` straight to ``v`` and believes whatever
+arrives.  Accuracy degrades by exactly the adversary's per-round budget
+(up to alpha * n corrupted messages per node) — the floor every resilient
+protocol is measured against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cliquesim.network import CongestedClique
+from repro.core.messages import AllToAllInstance
+from repro.core.protocol import AllToAllProtocol
+
+
+class NaiveAllToAll(AllToAllProtocol):
+    """Single-round unprotected exchange."""
+
+    name = "naive"
+
+    def run(self, instance: AllToAllInstance, net: CongestedClique,
+            seed: int = 0) -> np.ndarray:
+        delivered = net.exchange(instance.messages, width=instance.width,
+                                 label="naive/exchange")
+        return np.where(delivered < 0, 0, delivered)

@@ -1,0 +1,174 @@
+"""Command-line interface: run protocols, sweeps and demos without code.
+
+Usage (after ``pip install -e .``):
+
+    python -m repro run --protocol det-sqrt --n 64 --alpha 0.03125
+    python -m repro sweep --protocol det-logn --n 64 --alphas 0.01 0.02 0.04
+    python -m repro table1 --n 64
+    python -m repro consensus --n 64 --alpha 0.03125
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.adversary import AdaptiveAdversary, NonAdaptiveAdversary, NullAdversary
+from repro.cliquesim.network import CongestedClique
+from repro.cliquesim.trace import format_breakdown
+from repro.core import AllToAllInstance, make_protocol, verify_beliefs
+from repro.core.alltoall import PROTOCOLS
+from repro.core.applications import resilient_consensus
+from repro.core.profiles import ProfileError
+from repro.utils.rng import make_rng
+
+
+def _adversary(kind: str, alpha: float, seed: int):
+    if alpha <= 0:
+        return NullAdversary()
+    if kind == "adaptive":
+        return AdaptiveAdversary(alpha, seed=seed)
+    if kind == "nonadaptive":
+        return NonAdaptiveAdversary(alpha, seed=seed)
+    raise ValueError(f"unknown adversary kind {kind!r}")
+
+
+def _run_once(protocol_name: str, n: int, alpha: float, adversary_kind: str,
+              bandwidth: int, seed: int, show_phases: bool):
+    instance = AllToAllInstance.random(n, width=1, seed=seed)
+    protocol = make_protocol(protocol_name)
+    adversary = _adversary(adversary_kind, alpha, seed + 1)
+    net = CongestedClique(n, bandwidth=bandwidth, adversary=adversary)
+    beliefs = protocol.run(instance, net, seed=seed + 2)
+    correct = verify_beliefs(instance, beliefs)
+    print(f"protocol={protocol_name} n={n} alpha={alpha:.5f} "
+          f"adversary={adversary_kind if alpha > 0 else 'none'}")
+    print(f"rounds={net.rounds_used} bits={net.bits_sent} "
+          f"corrupted_in_transit={net.entries_corrupted}")
+    print(f"accuracy={correct}/{n * n} = {correct / (n * n):.4%}")
+    if show_phases:
+        print("\nper-phase breakdown:")
+        print(format_breakdown(net))
+    return correct == n * n
+
+
+def cmd_run(args) -> int:
+    ok = _run_once(args.protocol, args.n, args.alpha, args.adversary,
+                   args.bandwidth, args.seed, args.phases)
+    return 0 if ok else 1
+
+
+def cmd_sweep(args) -> int:
+    print(f"{'alpha':>10} {'rounds':>7} {'accuracy':>10}")
+    for alpha in args.alphas:
+        instance = AllToAllInstance.random(args.n, width=1, seed=args.seed)
+        try:
+            protocol = make_protocol(args.protocol)
+            adversary = _adversary(args.adversary, alpha, args.seed + 1)
+            net = CongestedClique(args.n, bandwidth=args.bandwidth,
+                                  adversary=adversary)
+            beliefs = protocol.run(instance, net, seed=args.seed + 2)
+            correct = verify_beliefs(instance, beliefs)
+            print(f"{alpha:>10.5f} {net.rounds_used:>7} "
+                  f"{correct / (args.n ** 2):>10.4%}")
+        except ProfileError as exc:
+            print(f"{alpha:>10.5f} {'—':>7} unsupported: {exc}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    settings = {
+        "nonadaptive": ("nonadaptive", args.alpha),
+        "adaptive": ("adaptive", args.alpha),
+        "det-logn": ("adaptive", args.alpha),
+        "det-sqrt": ("adaptive", min(args.alpha, 2.0 / args.n)),
+    }
+    print(f"{'protocol':>12} {'alpha':>9} {'rounds':>7} {'accuracy':>10}")
+    status = 0
+    for name in PROTOCOLS:
+        adversary_kind, alpha = settings[name]
+        instance = AllToAllInstance.random(args.n, width=1, seed=args.seed)
+        try:
+            protocol = make_protocol(name)
+            adversary = _adversary(adversary_kind, alpha, args.seed + 1)
+            net = CongestedClique(args.n, bandwidth=args.bandwidth,
+                                  adversary=adversary)
+            beliefs = protocol.run(instance, net, seed=args.seed + 2)
+            correct = verify_beliefs(instance, beliefs)
+            print(f"{name:>12} {alpha:>9.5f} {net.rounds_used:>7} "
+                  f"{correct / (args.n ** 2):>10.4%}")
+        except ProfileError as exc:
+            print(f"{name:>12} {alpha:>9.5f} unsupported: {exc}")
+            status = 1
+    return status
+
+
+def cmd_consensus(args) -> int:
+    rng = make_rng(args.seed)
+    inputs = rng.integers(0, 2, size=args.n)
+    protocol = make_protocol(args.protocol)
+    adversary = _adversary(args.adversary, args.alpha, args.seed + 1)
+    report = resilient_consensus(inputs, protocol, adversary,
+                                 bandwidth=args.bandwidth, seed=args.seed)
+    print(f"inputs: {int(inputs.sum())} ones / {args.n}")
+    print(f"rounds={report.rounds} agreement={report.agreement} "
+          f"validity={report.validity}")
+    print(f"decision: {int(report.decisions[0])}"
+          if report.agreement else f"decisions: {report.decisions}")
+    return 0 if report.consensus_reached else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Resilient all-to-all communication under mobile "
+                    "bounded-degree Byzantine edge adversaries "
+                    "(Fischer & Parter, PODC 2025)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--n", type=int, default=64)
+        p.add_argument("--alpha", type=float, default=1 / 32)
+        p.add_argument("--adversary", choices=("adaptive", "nonadaptive"),
+                       default="adaptive")
+        p.add_argument("--bandwidth", type=int, default=32)
+        p.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("run", help="one protocol execution")
+    run.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                     default="det-sqrt")
+    run.add_argument("--phases", action="store_true",
+                     help="print the per-phase round breakdown")
+    common(run)
+    run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="alpha sweep for one protocol")
+    sweep.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                       default="det-logn")
+    sweep.add_argument("--alphas", type=float, nargs="+",
+                       default=[1 / 64, 1 / 32, 3 / 64])
+    common(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    table1 = sub.add_parser("table1", help="all four protocols side by side")
+    common(table1)
+    table1.set_defaults(func=cmd_table1)
+
+    consensus = sub.add_parser("consensus",
+                               help="resilient binary consensus demo")
+    consensus.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                           default="det-sqrt")
+    common(consensus)
+    consensus.set_defaults(func=cmd_consensus)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Congested Clique simulator (Section 2's communication model)."""
+
+from repro.cliquesim.network import BandwidthViolation, CongestedClique
+from repro.cliquesim.topology import (
+    balanced_random_partition,
+    consecutive_segments,
+    flip,
+    partition_members,
+    prefix_class,
+    sqrt_segments,
+    suffix_class,
+)
+
+__all__ = [
+    "BandwidthViolation",
+    "CongestedClique",
+    "balanced_random_partition",
+    "consecutive_segments",
+    "flip",
+    "partition_members",
+    "prefix_class",
+    "sqrt_segments",
+    "suffix_class",
+]

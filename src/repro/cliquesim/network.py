@@ -1,0 +1,179 @@
+"""The Congested Clique engine (Section 2's communication model).
+
+``n`` fully-connected nodes communicate in synchronous rounds; in each round
+every ordered pair may carry up to ``B`` bits.  Payloads are an ``(n, n)``
+int64 matrix where entry ``(u, v)`` is the value ``u`` sends to ``v`` and
+``-1`` means "no message".  The engine:
+
+* enforces the per-round width limit,
+* hands the round to the attached adversary (fault-set selection is
+  validated against the faulty-degree budget — the adversary physically
+  cannot cheat: deliveries are clamped so only entries across faulty edges
+  may differ from the intended payloads),
+* counts rounds and bits, which is what the Table 1 benchmarks measure.
+
+KT1 is implicit: node ids are ``0..n-1`` and every protocol may use them.
+
+The diagonal (a node "sending to itself") is free bookkeeping, never
+corrupted and never counted as communication.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.adversary.base import Adversary, NullAdversary, RoundOutcome, RoundView
+from repro.adversary.budget import validate_fault_set
+
+
+class BandwidthViolation(Exception):
+    """A protocol tried to send more bits per edge than the model allows."""
+
+
+class CongestedClique:
+    """A bandwidth-B Congested Clique with an attached mobile adversary."""
+
+    def __init__(self, n: int, bandwidth: int = 1,
+                 adversary: Optional[Adversary] = None,
+                 record_full_history: bool = False):
+        if n < 2:
+            raise ValueError("need at least two nodes")
+        if bandwidth < 1:
+            raise ValueError("bandwidth must be at least 1 bit")
+        self.n = n
+        self.bandwidth = bandwidth
+        self.adversary = adversary if adversary is not None else NullAdversary()
+        self.adversary.begin_protocol(n)
+        self.record_full_history = record_full_history
+        self.history: List[RoundOutcome] = []
+        self.rounds_used = 0
+        self.bits_sent = 0
+        self.entries_corrupted = 0
+
+    # -- core round ----------------------------------------------------------
+    def round(self, intended: np.ndarray, width: Optional[int] = None,
+              label: str = "") -> np.ndarray:
+        """Execute one synchronous round and return the delivered matrix."""
+        width = self.bandwidth if width is None else width
+        if width > self.bandwidth:
+            raise BandwidthViolation(
+                f"round width {width} exceeds bandwidth {self.bandwidth}")
+        if width < 1:
+            raise ValueError("round width must be at least 1 bit")
+        intended = np.asarray(intended, dtype=np.int64)
+        if intended.shape != (self.n, self.n):
+            raise ValueError(
+                f"payload matrix must be ({self.n}, {self.n}), "
+                f"got {intended.shape}")
+        high = np.int64(1) << width
+        if intended.min() < -1 or intended.max() >= high:
+            raise BandwidthViolation(
+                f"payload values must be -1 or fit in {width} bits")
+
+        view = RoundView(index=self.rounds_used, width=width,
+                         intended=intended.copy(), history=self.history,
+                         label=label)
+        edges = np.asarray(self.adversary.select_edges(view), dtype=bool)
+        validate_fault_set(edges, self.n, self.adversary.alpha)
+        proposed = np.asarray(self.adversary.corrupt(view, edges),
+                              dtype=np.int64)
+        if proposed.shape != intended.shape:
+            raise ValueError("adversary returned a malformed delivery matrix")
+        if proposed.min() < -1 or proposed.max() >= high:
+            proposed = np.clip(proposed, -1, int(high) - 1)
+        # clamp: only entries across faulty edges may change (both directions)
+        delivered = np.where(edges, proposed, intended)
+        np.fill_diagonal(delivered, np.diag(intended))
+
+        corrupted = int(np.count_nonzero(delivered != intended))
+        outcome = RoundOutcome(
+            index=self.rounds_used,
+            width=width,
+            intended=intended if self.record_full_history else None,
+            delivered=delivered if self.record_full_history else None,
+            fault_edges=edges if self.record_full_history else None,
+            corrupted_entries=corrupted,
+            label=label,
+        )
+        self.history.append(outcome)
+        self.rounds_used += 1
+        sent_entries = (int(np.count_nonzero(intended >= 0))
+                        - int(np.count_nonzero(np.diag(intended) >= 0)))
+        self.bits_sent += width * sent_entries
+        self.entries_corrupted += corrupted
+        return delivered
+
+    # -- helpers -------------------------------------------------------------
+    def exchange(self, intended: np.ndarray, width: int,
+                 label: str = "") -> np.ndarray:
+        """Send ``width``-bit payloads, transparently splitting into
+        ``ceil(width / B)`` rounds when width exceeds the bandwidth.
+
+        Reassembly: an entry is ``-1`` if any of its chunks arrived as
+        "no message" (the adversary may cause that only across faulty edges).
+        """
+        intended = np.asarray(intended, dtype=np.int64)
+        if width <= self.bandwidth:
+            return self.round(intended, width, label)
+        chunks = []
+        missing = np.zeros((self.n, self.n), dtype=bool)
+        absent = intended < 0
+        shift = 0
+        part = 0
+        while shift < width:
+            take = min(self.bandwidth, width - shift)
+            chunk = (intended >> shift) & ((1 << take) - 1)
+            chunk = np.where(absent, -1, chunk)
+            got = self.round(chunk, take, label=f"{label}[chunk{part}]")
+            missing |= got < 0
+            chunks.append((np.where(got < 0, 0, got), shift))
+            shift += take
+            part += 1
+        out = np.zeros((self.n, self.n), dtype=np.int64)
+        for chunk, offset in chunks:
+            out |= chunk << offset
+        return np.where(missing, -1, out)
+
+    def exchange_bits(self, bits: np.ndarray, present: np.ndarray,
+                      label: str = "") -> np.ndarray:
+        """Send an arbitrary-width bit tensor: ``bits[u, v, :]`` are the
+        payload bits u sends v (``present[u, v]`` gates sending).
+
+        Splits the width into ``ceil(width / B)`` rounds; returns the
+        delivered bit tensor with dropped chunks zero-filled.  This is the
+        primitive behind the wide scatter/answer steps of the adaptive
+        compiler, where per-edge payloads exceed 62 bits.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        present = np.asarray(present, dtype=bool)
+        if bits.ndim != 3 or bits.shape[:2] != (self.n, self.n):
+            raise ValueError(f"expected shape ({self.n}, {self.n}, width)")
+        width = bits.shape[2]
+        out = np.zeros_like(bits)
+        weights = {}
+        for start in range(0, width, self.bandwidth):
+            take = min(self.bandwidth, width - start)
+            if take not in weights:
+                weights[take] = (np.int64(1)
+                                 << np.arange(take, dtype=np.int64))
+            w = weights[take]
+            chunk = (bits[:, :, start:start + take].astype(np.int64)
+                     * w[None, None, :]).sum(axis=2)
+            intended = np.where(present, chunk, -1)
+            got = self.round(intended, width=take,
+                             label=f"{label}[bits{start}]")
+            got = np.where(got < 0, 0, got)
+            out[:, :, start:start + take] = \
+                ((got[:, :, None] >> np.arange(take)[None, None, :]) & 1
+                 ).astype(np.uint8)
+        return out
+
+    def fault_free(self) -> bool:
+        return isinstance(self.adversary, NullAdversary)
+
+    def __repr__(self) -> str:
+        return (f"CongestedClique(n={self.n}, B={self.bandwidth}, "
+                f"rounds={self.rounds_used}, "
+                f"adversary={type(self.adversary).__name__})")

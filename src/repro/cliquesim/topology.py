@@ -1,0 +1,104 @@
+"""Node-indexing helpers shared by the protocols.
+
+All protocols assume the KT1 model with ids ``0..n-1`` (Section 2), so
+segmentations and pairings are pure index arithmetic that every node can
+compute locally:
+
+* consecutive segments ``S_1..S_{1/alpha}`` (adaptive compiler, Section 5.2)
+  and the sqrt(n) grid segments (Theorem 6.4);
+* the hypercube pairing ``Flip(v, i, b)`` (Theorem 6.1);
+* the balanced random partition ``P`` of Lemma 5.6 built from a k-wise
+  independent hash expanded out of shared randomness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.hashing.kwise import KWiseHashFamily
+from repro.utils.rng import make_rng
+
+
+def consecutive_segments(n: int, segment_size: int) -> List[np.ndarray]:
+    """Partition 0..n-1 into consecutive segments of exactly
+    ``segment_size`` ids (n must be divisible)."""
+    if n % segment_size != 0:
+        raise ValueError(f"{n} nodes cannot split into segments of "
+                         f"{segment_size}")
+    ids = np.arange(n, dtype=np.int64)
+    return [ids[i:i + segment_size] for i in range(0, n, segment_size)]
+
+
+def flip(v: int, bit: int, value: int, n: int) -> int:
+    """The node whose id agrees with ``v`` except that bit ``bit`` (0 =
+    most significant, as in Section 6.1's iteration order) equals
+    ``value``.  ``n`` must be a power of two."""
+    log_n = n.bit_length() - 1
+    if 1 << log_n != n:
+        raise ValueError(f"n={n} is not a power of two")
+    if not 0 <= bit < log_n:
+        raise IndexError(f"bit {bit} out of range for log n = {log_n}")
+    position = log_n - 1 - bit  # bit 0 is the most significant
+    cleared = v & ~(1 << position)
+    return cleared | (value << position)
+
+
+def prefix_class(v: int, i: int, n: int) -> np.ndarray:
+    """P(v, i): ids agreeing with v on the first ``i - 1`` bits
+    (Section 6.1)."""
+    log_n = n.bit_length() - 1
+    shift = log_n - (i - 1)
+    ids = np.arange(n, dtype=np.int64)
+    return ids[(ids >> shift) == (v >> shift)]
+
+
+def suffix_class(v: int, i: int, n: int) -> np.ndarray:
+    """S(v, i): ids agreeing with v on the last ``log n - i + 1`` bits."""
+    log_n = n.bit_length() - 1
+    keep = log_n - (i - 1)
+    mask = (1 << keep) - 1
+    ids = np.arange(n, dtype=np.int64)
+    return ids[(ids & mask) == (v & mask)]
+
+
+def sqrt_segments(n: int) -> List[np.ndarray]:
+    """The sqrt(n) consecutive segments of size sqrt(n) (Theorem 6.4);
+    n must be a perfect square."""
+    root = math.isqrt(n)
+    if root * root != n:
+        raise ValueError(f"n={n} is not a perfect square")
+    return consecutive_segments(n, root)
+
+
+def balanced_random_partition(n: int, num_parts: int,
+                              shared_seed: int) -> np.ndarray:
+    """Lemma 5.6: a random partition into ``num_parts`` parts of size
+    exactly ``n / num_parts``, computable by every node from the shared
+    random string alone.
+
+    Implementation follows the lemma: hash every node with a
+    Theta(log n)-wise independent function, stably sort the nodes by hash
+    value, and cut the sorted order into consecutive blocks.  Returns an
+    array ``part_of`` with ``part_of[v] = j``.
+    """
+    if n % num_parts != 0:
+        raise ValueError(f"{num_parts} parts must divide n={n}")
+    independence = max(4, int(math.ceil(4 * math.log2(max(n, 2)))))
+    family = KWiseHashFamily(independence, n, max(num_parts, 2))
+    hash_fn = family.sample(make_rng(shared_seed))
+    values = hash_fn(np.arange(n, dtype=np.int64))
+    order = np.argsort(values, kind="stable")
+    part_size = n // num_parts
+    part_of = np.empty(n, dtype=np.int64)
+    for j in range(num_parts):
+        part_of[order[j * part_size:(j + 1) * part_size]] = j
+    return part_of
+
+
+def partition_members(part_of: np.ndarray, num_parts: int) -> List[np.ndarray]:
+    """Members of each part, each sorted by id (the paper's P_j[i]
+    indexing)."""
+    return [np.flatnonzero(part_of == j) for j in range(num_parts)]

@@ -1,0 +1,62 @@
+"""The Hadamard code: the textbook 2-query LDC.
+
+Exponentially long (n = 2^k), so only usable for very small k, but it is the
+cleanest executable model of Definition 4 and is used in tests and in the
+LDC ablation benchmark as the "maximal locality, minimal rate" endpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.ldc_interfaces import LocallyDecodableCode
+from repro.utils.rng import derive
+
+_MAX_K = 14
+
+
+class HadamardLDC(LocallyDecodableCode):
+    """Encode x in F_2^k as all inner products <x, y> for y in F_2^k.
+
+    Message coordinate ``i`` (the coefficient x_i) is decoded with two
+    queries: positions ``y`` and ``y XOR e_i`` for a random ``y``; their sum
+    equals x_i whenever both queried bits are uncorrupted, so a corruption
+    fraction delta fails with probability at most 2*delta.
+    """
+
+    alphabet_size = 2
+
+    def __init__(self, k: int):
+        if not 0 < k <= _MAX_K:
+            raise ValueError(f"k must be in [1, {_MAX_K}]")
+        self.k = k
+        self.n = 1 << k
+
+    @property
+    def query_count(self) -> int:
+        return 2
+
+    @property
+    def relative_distance(self) -> float:
+        return 0.5
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        message = np.asarray(message, dtype=np.int64)
+        if message.shape != (self.k,):
+            raise ValueError(f"expected {self.k} message bits")
+        ys = np.arange(self.n, dtype=np.int64)
+        bits = (ys[:, None] >> np.arange(self.k)[None, :]) & 1
+        return (bits * message[None, :]).sum(axis=1) % 2
+
+    def decode_indices(self, index: int, seed: int) -> np.ndarray:
+        if not 0 <= index < self.k:
+            raise IndexError(f"index {index} out of range [0, {self.k})")
+        rng = derive(seed, f"hadamard-query:{index}")
+        y = int(rng.integers(0, self.n))
+        return np.array([y, y ^ (1 << index)], dtype=np.int64)
+
+    def local_decode(self, index: int, values: np.ndarray, seed: int) -> int:
+        values = np.asarray(values, dtype=np.int64)
+        if values.shape != (2,):
+            raise ValueError("Hadamard local decoding uses exactly 2 queries")
+        return int((values[0] + values[1]) % 2)

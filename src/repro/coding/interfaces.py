@@ -1,0 +1,99 @@
+"""Code interfaces (Definition 3 of the paper).
+
+A :class:`BinaryCode` maps ``k`` message bits to ``n`` codeword bits and
+guarantees unique decoding of any received word within relative distance
+``relative_distance / 2`` of a codeword.  All protocol layers depend only on
+this interface plus the two constants, so codes are interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.bits import BitArray, as_bits
+
+
+class DecodingFailure(Exception):
+    """Raised when a received word is too corrupted for unique decoding."""
+
+
+class BinaryCode(abc.ABC):
+    """An error-correcting code over the binary alphabet."""
+
+    #: message length in bits
+    k: int
+    #: codeword length in bits
+    n: int
+
+    @property
+    def rate(self) -> float:
+        """Relative rate tau_C = k / n."""
+        return self.k / self.n
+
+    @property
+    @abc.abstractmethod
+    def relative_distance(self) -> float:
+        """A lower bound on the relative distance delta_C of the code."""
+
+    @abc.abstractmethod
+    def encode(self, message: BitArray) -> BitArray:
+        """Encode exactly ``k`` message bits into ``n`` codeword bits."""
+
+    @abc.abstractmethod
+    def decode(self, received: BitArray) -> BitArray:
+        """Decode ``n`` received bits back into ``k`` message bits.
+
+        Must succeed whenever the received word is within Hamming distance
+        ``< relative_distance * n / 2`` of a codeword; may raise
+        :class:`DecodingFailure` otherwise.
+        """
+
+    def max_correctable_errors(self) -> int:
+        """Number of bit errors guaranteed correctable."""
+        return int(np.ceil(self.relative_distance * self.n / 2)) - 1
+
+    # -- batch interfaces (protocols move thousands of codewords per run; the
+    #    concrete codes override these with vectorised implementations) ------
+    def encode_many(self, messages: np.ndarray) -> np.ndarray:
+        """Encode rows of a (count, k) bit matrix into (count, n)."""
+        messages = np.asarray(messages, dtype=np.uint8)
+        return np.stack([self.encode(row) for row in messages]) \
+            if messages.size else np.zeros((0, self.n), dtype=np.uint8)
+
+    def decode_many(self, received: np.ndarray) -> np.ndarray:
+        """Decode rows of a (count, n) bit matrix into (count, k).
+
+        Rows that fail unique decoding come back as all-zero (callers that
+        need failure flags use :meth:`decode_many_flagged`).
+        """
+        return self.decode_many_flagged(received)[0]
+
+    def decode_many_flagged(self, received: np.ndarray):
+        """Like :meth:`decode_many` but also returns a boolean failure
+        vector."""
+        received = np.asarray(received, dtype=np.uint8)
+        count = received.shape[0]
+        out = np.zeros((count, self.k), dtype=np.uint8)
+        failed = np.zeros(count, dtype=bool)
+        for i in range(count):
+            try:
+                out[i] = self.decode(received[i])
+            except DecodingFailure:
+                failed[i] = True
+        return out, failed
+
+    def _check_message(self, message: BitArray) -> BitArray:
+        message = as_bits(message)
+        if message.size != self.k:
+            raise ValueError(
+                f"message has {message.size} bits, code expects k={self.k}")
+        return message
+
+    def _check_received(self, received: BitArray) -> BitArray:
+        received = as_bits(received)
+        if received.size != self.n:
+            raise ValueError(
+                f"received word has {received.size} bits, code expects n={self.n}")
+        return received

@@ -1,0 +1,216 @@
+"""Justesen-like concatenated binary code (Lemma 2.1 substitute).
+
+Outer code: Reed–Solomon over GF(2^m).  Inner code: a fixed short binary
+linear code with exact ML decoding (Justesen used the varying Wozencraft
+ensemble; see DESIGN.md §2 for why a fixed good inner code preserves the
+contract the protocols rely on — constant rate, constant relative distance,
+polynomial-time encoding/decoding).
+
+Decoding is the classical two-stage procedure: ML-decode each inner block to
+an outer symbol, then bounded-distance RS decoding across blocks.  A bit
+error pattern is guaranteed correctable when fewer than
+``(t_outer + 1) * ceil(d_inner / 2)`` bits are corrupted, because damaging an
+inner block beyond repair costs the adversary at least ``ceil(d_inner / 2)``
+bit flips, and RS absorbs ``t_outer`` broken blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.coding.interfaces import BinaryCode, DecodingFailure
+from repro.coding.linear import (
+    LinearBlockCode,
+    best_effort_linear_code,
+    extended_hamming_8_4,
+)
+from repro.coding.reed_solomon import ReedSolomonCodec
+from repro.fields.gf2m import GF2m
+from repro.utils.bits import BitArray, as_bits
+
+
+class ConcatenatedCode(BinaryCode):
+    """RS outer code concatenated with a short binary inner code."""
+
+    def __init__(self, outer: ReedSolomonCodec, inner: LinearBlockCode):
+        if inner.k != outer.field.m:
+            raise ValueError(
+                f"inner message length {inner.k} must equal outer symbol "
+                f"size m={outer.field.m}")
+        self.outer = outer
+        self.inner = inner
+        self.k = outer.k * inner.k
+        self.n = outer.n * inner.n
+
+    @property
+    def relative_distance(self) -> float:
+        # Report twice the guaranteed decoding radius so that the BinaryCode
+        # contract (decode succeeds below relative_distance * n / 2) holds.
+        radius = (self.outer.t + 1) * math.ceil(self.inner.min_distance / 2) - 1
+        return 2 * (radius + 1) / self.n
+
+    def guaranteed_correctable_bits(self) -> int:
+        return (self.outer.t + 1) * math.ceil(self.inner.min_distance / 2) - 1
+
+    def encode(self, message: BitArray) -> BitArray:
+        message = self._check_message(message)
+        m = self.inner.k
+        weights = (1 << np.arange(m, dtype=np.int64))
+        symbols = (message.reshape(-1, m).astype(np.int64) * weights).sum(axis=1)
+        outer_word = self.outer.encode(symbols)
+        # expand each outer symbol back to m bits and inner-encode
+        symbol_bits = ((outer_word[:, None] >> np.arange(m)[None, :]) & 1
+                       ).astype(np.uint8)
+        blocks = (symbol_bits.astype(np.int64) @ self.inner.generator) % 2
+        return blocks.astype(np.uint8).reshape(-1)
+
+    def decode(self, received: BitArray) -> BitArray:
+        received = self._check_received(received)
+        blocks = received.reshape(self.outer.n, self.inner.n)
+        inner_messages = self.inner.decode_blocks(blocks)
+        weights = (1 << np.arange(self.inner.k, dtype=np.int64))
+        symbols = (inner_messages.astype(np.int64) * weights).sum(axis=1)
+        message_symbols = self.outer.decode(symbols)
+        m = self.inner.k
+        bits = ((message_symbols[:, None] >> np.arange(m)[None, :]) & 1)
+        return bits.astype(np.uint8).reshape(-1)
+
+    # -- batched paths ---------------------------------------------------------
+    def encode_many(self, messages: np.ndarray) -> np.ndarray:
+        messages = np.asarray(messages, dtype=np.uint8)
+        if messages.size == 0:
+            return np.zeros((0, self.n), dtype=np.uint8)
+        count = messages.shape[0]
+        m = self.inner.k
+        weights = (1 << np.arange(m, dtype=np.int64))
+        symbols = (messages.reshape(count, self.outer.k, m).astype(np.int64)
+                   * weights[None, None, :]).sum(axis=2)
+        outer_words = self.outer.encode_many(symbols)
+        symbol_bits = ((outer_words[:, :, None] >> np.arange(m)[None, None, :])
+                       & 1).astype(np.uint8)
+        flat = symbol_bits.reshape(count * self.outer.n, m)
+        blocks = self.inner.encode_many(flat)
+        return blocks.reshape(count, self.n)
+
+    def decode_many_flagged(self, received: np.ndarray):
+        received = np.asarray(received, dtype=np.uint8)
+        if received.size == 0:
+            return (np.zeros((0, self.k), dtype=np.uint8),
+                    np.zeros(0, dtype=bool))
+        count = received.shape[0]
+        blocks = received.reshape(count * self.outer.n, self.inner.n)
+        inner_messages = self.inner.decode_blocks(blocks)
+        weights = (1 << np.arange(self.inner.k, dtype=np.int64))
+        symbols = (inner_messages.astype(np.int64) * weights[None, :]) \
+            .sum(axis=1).reshape(count, self.outer.n)
+        message_symbols, failed = self.outer.decode_many_flagged(symbols)
+        m = self.inner.k
+        bits = ((message_symbols[:, :, None] >> np.arange(m)[None, None, :])
+                & 1).astype(np.uint8)
+        return bits.reshape(count, self.k), failed
+
+    def __repr__(self) -> str:
+        return (f"ConcatenatedCode(n={self.n}, k={self.k}, "
+                f"outer={self.outer!r}, inner={self.inner!r})")
+
+
+class PaddedCode(BinaryCode):
+    """Wrap a code so its codeword occupies exactly ``n_bits`` positions.
+
+    The extra positions carry zeros and are ignored at decoding time (a
+    shortening in disguise: corruption on pad positions is harmless, which
+    only helps the receiver).  Needed because the routing protocol hands a
+    codeword to a node set of an exact size L (Section 4.2).
+    """
+
+    def __init__(self, base: BinaryCode, n_bits: int):
+        if n_bits < base.n:
+            raise ValueError(f"cannot pad code of length {base.n} to {n_bits}")
+        self.base = base
+        self.k = base.k
+        self.n = n_bits
+
+    @property
+    def relative_distance(self) -> float:
+        # Same absolute correction radius over a longer word.
+        return self.base.relative_distance * self.base.n / self.n
+
+    def encode(self, message: BitArray) -> BitArray:
+        codeword = self.base.encode(message)
+        out = np.zeros(self.n, dtype=np.uint8)
+        out[:codeword.size] = codeword
+        return out
+
+    def decode(self, received: BitArray) -> BitArray:
+        received = self._check_received(received)
+        return self.base.decode(received[:self.base.n])
+
+    def encode_many(self, messages: np.ndarray) -> np.ndarray:
+        inner = self.base.encode_many(messages)
+        out = np.zeros((inner.shape[0], self.n), dtype=np.uint8)
+        out[:, :self.base.n] = inner
+        return out
+
+    def decode_many_flagged(self, received: np.ndarray):
+        received = np.asarray(received, dtype=np.uint8)
+        return self.base.decode_many_flagged(received[:, :self.base.n])
+
+
+_FACTORY_CACHE: Dict[Tuple[int, float, int], BinaryCode] = {}
+
+
+def make_justesen_code(n_bits: int, rate: float = 0.25,
+                       seed: int = 0) -> BinaryCode:
+    """Build a Justesen-like code whose codeword fits in exactly ``n_bits``.
+
+    Picks the inner code and the outer field by size: the [8,4,4] extended
+    Hamming inner with a GF(16) RS outer for short words, and a searched
+    [16,8,>=5] inner with a GF(256) RS outer for longer ones.  The outer
+    dimension is set so the overall rate is approximately ``rate``.
+
+    Returns a :class:`PaddedCode` of length exactly ``n_bits``.  Raises
+    ``ValueError`` when ``n_bits`` is too small to host any such code.
+    """
+    key = (n_bits, rate, seed)
+    cached = _FACTORY_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    if n_bits < 24:
+        raise ValueError(f"n_bits={n_bits} too small for a concatenated code")
+
+    if n_bits <= 120:
+        # [8,4,4] extended Hamming inner + GF(16) outer: best distance ratio
+        inner = extended_hamming_8_4()
+        field = GF2m(4)
+    else:
+        # a searched [24,8,8] inner + GF(256) outer for longer codewords
+        inner = best_effort_linear_code(8, 24, seed=seed)
+        field = GF2m(8)
+
+    n_outer = min(n_bits // inner.n, field.order - 1)
+    target_k_bits = rate * n_bits
+    k_outer = max(1, min(n_outer - 2,
+                         int(target_k_bits // inner.k)))
+    # keep an even number of parity symbols for a clean t = (n - k) / 2
+    if (n_outer - k_outer) % 2 == 1:
+        k_outer = max(1, k_outer - 1)
+    if k_outer >= n_outer:
+        raise ValueError(
+            f"n_bits={n_bits} cannot host rate {rate} (k_outer={k_outer}, "
+            f"n_outer={n_outer})")
+    outer = ReedSolomonCodec(field, n_outer, k_outer)
+    code: BinaryCode = ConcatenatedCode(outer, inner)
+    if code.n != n_bits:
+        code = PaddedCode(code, n_bits)
+    _FACTORY_CACHE[key] = code
+    return code
+
+
+def justesen_message_capacity(n_bits: int, rate: float = 0.25,
+                              seed: int = 0) -> int:
+    """Message bits carried by ``make_justesen_code(n_bits, rate)``."""
+    return make_justesen_code(n_bits, rate, seed).k

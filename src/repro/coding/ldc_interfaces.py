@@ -1,0 +1,79 @@
+"""Locally decodable code interfaces (Definition 4 of the paper).
+
+A *non-adaptive* LDC exposes ``decode_indices(i, seed)`` — the codeword
+positions queried to recover message coordinate ``i`` — as a pure function of
+the index and the shared randomness.  This is the property the adaptive
+compiler exploits (Section 5.2 / Figure 1): every node uses the *same*
+randomness, so the query positions are identical across all sketch groups
+P_j and the information a node needs concentrates on q·t nodes.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class LocalDecodingFailure(Exception):
+    """Raised when the queried values are too corrupted to decode."""
+
+
+class LocallyDecodableCode(abc.ABC):
+    """An LDC over a symbol alphabet of size ``alphabet_size``.
+
+    ``k`` is the message length and ``n`` the codeword length, both counted
+    in symbols.  ``symbol_bits`` gives the binary width used when symbols are
+    transmitted over the network.
+    """
+
+    k: int
+    n: int
+    alphabet_size: int
+
+    @property
+    def symbol_bits(self) -> int:
+        return max(1, (self.alphabet_size - 1).bit_length())
+
+    @property
+    @abc.abstractmethod
+    def query_count(self) -> int:
+        """Number of codeword positions queried per decoded coordinate (q)."""
+
+    @property
+    @abc.abstractmethod
+    def relative_distance(self) -> float:
+        """Lower bound on the relative distance of the underlying code."""
+
+    @abc.abstractmethod
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Encode ``k`` message symbols into ``n`` codeword symbols."""
+
+    @abc.abstractmethod
+    def decode_indices(self, index: int, seed: int) -> np.ndarray:
+        """Codeword positions queried to decode message coordinate ``index``.
+
+        Non-adaptive: depends only on ``(index, seed)``.  (The paper's
+        ``DecodeIndices(i, R)``.)
+        """
+
+    @abc.abstractmethod
+    def local_decode(self, index: int, values: np.ndarray, seed: int) -> int:
+        """Decode message coordinate ``index`` from the queried ``values``.
+
+        ``values[j]`` must be the (possibly corrupted) codeword symbol at
+        position ``decode_indices(index, seed)[j]``.  Raises
+        :class:`LocalDecodingFailure` if recovery is impossible.
+        """
+
+    def local_decode_from_word(self, index: int, word: np.ndarray,
+                               seed: int) -> int:
+        """Convenience: query a full (possibly corrupted) codeword."""
+        positions = self.decode_indices(index, seed)
+        return self.local_decode(index, np.asarray(word)[positions], seed)
+
+    def decode_all(self, word: np.ndarray, seed: int) -> np.ndarray:
+        """Decode every message coordinate locally (testing helper)."""
+        return np.array(
+            [self.local_decode_from_word(i, word, seed) for i in range(self.k)],
+            dtype=np.int64)

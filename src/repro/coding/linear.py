@@ -1,0 +1,189 @@
+"""Short binary linear block codes with brute-force maximum-likelihood decoding.
+
+These serve two roles:
+
+* **Inner codes** of the Justesen-like concatenated construction
+  (``repro.coding.justesen``).  Justesen's original construction uses the
+  Wozencraft ensemble of varying inner codes; we substitute one fixed good
+  inner code per DESIGN.md — the relevant contract (constant rate and
+  distance, exact ML decoding of each short block) is identical.
+* **Stand-alone codes for tiny messages**, e.g. encoding a single
+  Theta(log n)-bit message in the non-adaptive compiler (Section 5.1).
+
+Message lengths are capped at 14 bits so that enumerating the full codebook
+(for exact minimum distance and ML decoding) stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.coding.interfaces import BinaryCode
+from repro.utils.bits import BitArray
+from repro.utils.rng import make_rng
+
+_MAX_K = 14
+_MAX_N = 48  # decode packs codewords into 48-bit integers
+
+_POPCOUNT_16 = np.array([bin(i).count("1") for i in range(1 << 16)],
+                        dtype=np.int64)
+
+
+def _all_messages(k: int) -> np.ndarray:
+    """Matrix of all 2^k message vectors, one per row."""
+    count = 1 << k
+    idx = np.arange(count, dtype=np.int64)
+    return ((idx[:, None] >> np.arange(k)[None, :]) & 1).astype(np.uint8)
+
+
+class LinearBlockCode(BinaryCode):
+    """A binary linear [n, k] code given by a generator matrix.
+
+    Decoding is exact nearest-neighbour over the full codebook, so it meets
+    the unique-decoding contract for any error weight ``< d/2`` where ``d``
+    is the *exact* minimum distance (computed at construction).
+    """
+
+    def __init__(self, generator: np.ndarray):
+        generator = np.asarray(generator, dtype=np.uint8) % 2
+        if generator.ndim != 2:
+            raise ValueError("generator matrix must be 2-dimensional")
+        k, n = generator.shape
+        if k > _MAX_K:
+            raise ValueError(f"k={k} too large for brute-force decoding")
+        if k == 0 or n < k:
+            raise ValueError(f"invalid code dimensions k={k}, n={n}")
+        if n > _MAX_N:
+            raise ValueError(f"n={n} too large for packed ML decoding")
+        self.k = k
+        self.n = n
+        self.generator = generator
+        messages = _all_messages(k)
+        self._codebook = (messages @ generator) % 2
+        nonzero = self._codebook[1:]
+        if nonzero.size == 0:
+            self.min_distance = n
+        else:
+            weights = nonzero.sum(axis=1)
+            self.min_distance = int(weights.min())
+        if self.min_distance == 0:
+            raise ValueError("generator matrix is not full rank")
+
+    @property
+    def relative_distance(self) -> float:
+        return self.min_distance / self.n
+
+    def encode(self, message: BitArray) -> BitArray:
+        message = self._check_message(message)
+        return ((message.astype(np.int64) @ self.generator) % 2).astype(np.uint8)
+
+    def decode(self, received: BitArray) -> BitArray:
+        received = self._check_received(received)
+        distances = np.count_nonzero(self._codebook != received[None, :], axis=1)
+        best = int(np.argmin(distances))
+        return _all_messages(self.k)[best].copy()
+
+    def decode_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Vectorised ML decoding of many length-n blocks at once.
+
+        ``blocks`` has shape (num_blocks, n); returns (num_blocks, k).
+        Uses bit-packed XOR + popcount so large batches stay in cache.
+        """
+        blocks = np.asarray(blocks, dtype=np.uint8)
+        if blocks.ndim != 2 or blocks.shape[1] != self.n:
+            raise ValueError(f"expected shape (*, {self.n}), got {blocks.shape}")
+        weights = (np.int64(1) << np.arange(self.n, dtype=np.int64))
+        packed = (blocks.astype(np.int64) * weights[None, :]).sum(axis=1)
+        codebook = (self._codebook.astype(np.int64) * weights[None, :]).sum(axis=1)
+        table = _POPCOUNT_16
+        out = np.empty(blocks.shape[0], dtype=np.int64)
+        step = 1 << 14
+        for start in range(0, packed.size, step):
+            xor = packed[start:start + step, None] ^ codebook[None, :]
+            dist = (table[xor & 0xFFFF] + table[(xor >> 16) & 0xFFFF]
+                    + table[(xor >> 32) & 0xFFFF])
+            out[start:start + step] = dist.argmin(axis=1)
+        return _all_messages(self.k)[out]
+
+    # -- batched BinaryCode interface -----------------------------------------
+    def encode_many(self, messages: np.ndarray) -> np.ndarray:
+        messages = np.asarray(messages, dtype=np.uint8)
+        if messages.size == 0:
+            return np.zeros((0, self.n), dtype=np.uint8)
+        return ((messages.astype(np.int64) @ self.generator) % 2).astype(np.uint8)
+
+    def decode_many_flagged(self, received: np.ndarray):
+        received = np.asarray(received, dtype=np.uint8)
+        out = self.decode_blocks(received) if received.size else \
+            np.zeros((0, self.k), dtype=np.uint8)
+        return out, np.zeros(received.shape[0], dtype=bool)
+
+    def __repr__(self) -> str:
+        return f"LinearBlockCode(n={self.n}, k={self.k}, d={self.min_distance})"
+
+
+def extended_hamming_8_4() -> LinearBlockCode:
+    """The extended Hamming [8, 4, 4] code — a classical optimal inner code."""
+    generator = np.array(
+        [
+            [1, 0, 0, 0, 0, 1, 1, 1],
+            [0, 1, 0, 0, 1, 0, 1, 1],
+            [0, 0, 1, 0, 1, 1, 0, 1],
+            [0, 0, 0, 1, 1, 1, 1, 0],
+        ],
+        dtype=np.uint8,
+    )
+    return LinearBlockCode(generator)
+
+
+_SEARCH_CACHE: Dict[Tuple[int, int, int, int], LinearBlockCode] = {}
+
+
+def search_linear_code(k: int, n: int, target_distance: int,
+                       seed: int = 0, attempts: int = 4000) -> LinearBlockCode:
+    """Randomised search for an [n, k] code with distance >= target.
+
+    Deterministic for a fixed seed.  Tries systematic generators [I | A] with
+    random A; raises ``ValueError`` if no code is found within the attempt
+    budget (callers should lower the target).
+    """
+    key = (k, n, target_distance, seed)
+    cached = _SEARCH_CACHE.get(key)
+    if cached is not None:
+        return cached
+    rng = make_rng(seed ^ (k << 20) ^ (n << 10) ^ target_distance)
+    best: Optional[LinearBlockCode] = None
+    for _ in range(attempts):
+        a = rng.integers(0, 2, size=(k, n - k), dtype=np.uint8)
+        generator = np.concatenate([np.eye(k, dtype=np.uint8), a], axis=1)
+        try:
+            code = LinearBlockCode(generator)
+        except ValueError:
+            continue
+        if best is None or code.min_distance > best.min_distance:
+            best = code
+        if best.min_distance >= target_distance:
+            break
+    if best is None or best.min_distance < target_distance:
+        raise ValueError(
+            f"no [{n},{k}] code with distance >= {target_distance} found; "
+            f"best was {best.min_distance if best else 0}")
+    _SEARCH_CACHE[key] = best
+    return best
+
+
+def best_effort_linear_code(k: int, n: int, seed: int = 0) -> LinearBlockCode:
+    """Find a good [n, k] code, relaxing the distance target until one exists.
+
+    Starts near the Gilbert–Varshamov-style guess ``(n - k) // 2 + 2`` and
+    walks down.  Always succeeds (distance 1 is trivially achievable).
+    """
+    target = max(1, (n - k) // 2 + 2)
+    while target > 1:
+        try:
+            return search_linear_code(k, n, target, seed=seed)
+        except ValueError:
+            target -= 1
+    return search_linear_code(k, n, 1, seed=seed)

@@ -1,0 +1,38 @@
+"""Repetition code: the simplest binary code with distance 1.
+
+Useful as a baseline inner code and in ablation benchmarks (its rate/distance
+trade-off is far worse than the concatenated code, which is visible in the
+routing-resilience ablation, experiment E11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.interfaces import BinaryCode
+from repro.utils.bits import BitArray
+
+
+class RepetitionCode(BinaryCode):
+    """Repeat each message bit ``r`` times; decode by per-bit majority."""
+
+    def __init__(self, k: int, repetitions: int):
+        if k <= 0 or repetitions <= 0:
+            raise ValueError("k and repetitions must be positive")
+        self.k = k
+        self.repetitions = repetitions
+        self.n = k * repetitions
+
+    @property
+    def relative_distance(self) -> float:
+        return self.repetitions / self.n  # = 1/k
+
+    def encode(self, message: BitArray) -> BitArray:
+        message = self._check_message(message)
+        return np.repeat(message, self.repetitions)
+
+    def decode(self, received: BitArray) -> BitArray:
+        received = self._check_received(received)
+        blocks = received.reshape(self.k, self.repetitions)
+        counts = blocks.sum(axis=1)
+        return (counts * 2 > self.repetitions).astype(np.uint8)

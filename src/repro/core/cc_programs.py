@@ -1,0 +1,164 @@
+"""Fault-free Congested Clique programs used to exercise the compiler.
+
+A :class:`CongestedCliqueProgram` describes an r-round algorithm in the
+fault-free model: in every round each node maps its local state to the n
+messages it sends (``width`` bits each), then folds the n messages it
+received into its new state.  The compiler (``repro.core.compiler``)
+simulates each such round with one resilient AllToAllComm execution
+(Definition 1), which is exactly the paper's notion of a general compiler.
+
+Three demo programs of increasing statefulness:
+
+* ``RotationGossip`` — round i: u sends ``state_u`` to everyone, then sums
+  what it heard, rotated by i.  Any corrupted delivery derails every later
+  state, so it is a sensitive end-to-end compiler check.
+* ``MatrixTranspose`` — the clique's hello-world: entry exchange.
+* ``IterativeMax`` — epidemic maximum: converges in one round in the
+  fault-free clique; corruptions show up as wrong maxima.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+class CongestedCliqueProgram(abc.ABC):
+    """An r-round fault-free Congested Clique algorithm."""
+
+    name: str = "abstract"
+    rounds: int = 1
+    width: int = 8
+
+    @abc.abstractmethod
+    def initial_state(self, n: int, seed: int) -> np.ndarray:
+        """Per-node initial state, shape (n, ...)."""
+
+    @abc.abstractmethod
+    def messages(self, round_index: int, state: np.ndarray) -> np.ndarray:
+        """(n, n) message matrix for this round; entry (u, v) from u to v."""
+
+    @abc.abstractmethod
+    def update(self, round_index: int, state: np.ndarray,
+               received: np.ndarray) -> np.ndarray:
+        """Fold the received (n, n) matrix (entry (u, v) = what v got from u)
+        into the new state."""
+
+    def run_fault_free(self, n: int, seed: int) -> np.ndarray:
+        """Ground truth: execute without any network."""
+        state = self.initial_state(n, seed)
+        for i in range(self.rounds):
+            sent = self.messages(i, state)
+            state = self.update(i, state, sent)
+        return state
+
+
+class RotationGossip(CongestedCliqueProgram):
+    name = "rotation-gossip"
+
+    def __init__(self, rounds: int = 3, width: int = 8):
+        self.rounds = rounds
+        self.width = width
+
+    def initial_state(self, n: int, seed: int) -> np.ndarray:
+        return make_rng(seed).integers(0, 1 << self.width, size=n,
+                                       dtype=np.int64)
+
+    def messages(self, round_index: int, state: np.ndarray) -> np.ndarray:
+        n = state.shape[0]
+        return np.tile(state[:, None], (1, n)) % (1 << self.width)
+
+    def update(self, round_index: int, state: np.ndarray,
+               received: np.ndarray) -> np.ndarray:
+        n = state.shape[0]
+        rolled = np.roll(received, round_index + 1, axis=0)
+        return rolled.sum(axis=0) % (1 << self.width)
+
+
+class MatrixTranspose(CongestedCliqueProgram):
+    name = "matrix-transpose"
+    rounds = 1
+
+    def __init__(self, width: int = 8):
+        self.width = width
+
+    def initial_state(self, n: int, seed: int) -> np.ndarray:
+        return make_rng(seed).integers(0, 1 << self.width, size=(n, n),
+                                       dtype=np.int64)
+
+    def messages(self, round_index: int, state: np.ndarray) -> np.ndarray:
+        return state
+
+    def update(self, round_index: int, state: np.ndarray,
+               received: np.ndarray) -> np.ndarray:
+        return received.T.copy()
+
+
+class IterativeMax(CongestedCliqueProgram):
+    name = "iterative-max"
+
+    def __init__(self, rounds: int = 2, width: int = 12):
+        self.rounds = rounds
+        self.width = width
+
+    def initial_state(self, n: int, seed: int) -> np.ndarray:
+        return make_rng(seed).integers(0, 1 << self.width, size=n,
+                                       dtype=np.int64)
+
+    def messages(self, round_index: int, state: np.ndarray) -> np.ndarray:
+        n = state.shape[0]
+        return np.tile(state[:, None], (1, n))
+
+    def update(self, round_index: int, state: np.ndarray,
+               received: np.ndarray) -> np.ndarray:
+        return received.max(axis=0)
+
+
+class SeededRandomRelabel(CongestedCliqueProgram):
+    """A *randomized* source program, compiled the way Section 1 prescribes:
+    "one can fix the randomness R_A used by A, making A deterministic for
+    the purpose of the simulation".  Each round every node relabels its
+    state with a pseudo-random permutation drawn from the fixed R_A and
+    mixes in a random peer's message — any transport corruption derails the
+    trajectory, so the compiler must deliver everything."""
+
+    name = "seeded-random-relabel"
+
+    def __init__(self, rounds: int = 3, width: int = 8):
+        self.rounds = rounds
+        self.width = width
+
+    def _fixed_randomness(self, n: int, seed: int, round_index: int):
+        # R_A is part of the program description: derived from the seed only
+        return make_rng(seed * 1_000_003 + round_index)
+
+    def initial_state(self, n: int, seed: int) -> np.ndarray:
+        self._seed = seed
+        return make_rng(seed).integers(0, 1 << self.width, size=n,
+                                       dtype=np.int64)
+
+    def messages(self, round_index: int, state: np.ndarray) -> np.ndarray:
+        n = state.shape[0]
+        return np.tile(state[:, None], (1, n))
+
+    def update(self, round_index: int, state: np.ndarray,
+               received: np.ndarray) -> np.ndarray:
+        n = state.shape[0]
+        rng = self._fixed_randomness(n, self._seed, round_index)
+        partners = rng.permutation(n)
+        mask = (1 << self.width) - 1
+        mixed = (received[partners, np.arange(n)] * 31 + state * 17
+                 + round_index) & mask
+        return mixed
+
+
+DEMO_PROGRAMS: List[CongestedCliqueProgram] = [
+    RotationGossip(),
+    MatrixTranspose(),
+    IterativeMax(),
+    SeededRandomRelabel(),
+]

@@ -1,0 +1,105 @@
+"""Deterministic O(log n)-round AllToAllComm for constant alpha.
+
+Theorem 1.4 / Section 6.1 (Figure 2).  A butterfly exchange: in iteration
+``i`` (1-based), nodes are paired with the partner whose id differs only in
+bit ``i`` (most significant first).  Each node splits its current message
+set by target id into a lower and an upper half and the pair exchanges
+halves through the resilient router, so that after iteration ``i`` node u
+holds exactly ``M(S(u, i+1), P(u, i+1))`` (Lemma 6.2) — sources double,
+targets halve — and after ``log n`` iterations it holds ``M(V, {u})``.
+
+Every iteration is a SuperMessagesRouting instance with one super-message
+of ``(n/2) * width`` bits per node (Lemma 6.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cliquesim.network import CongestedClique
+from repro.cliquesim.topology import flip
+from repro.core.messages import AllToAllInstance
+from repro.core.profiles import ProtocolProfile, SIMULATION
+from repro.core.protocol import AllToAllProtocol, pack_block, unpack_block
+from repro.core.routing import SuperMessage, SuperMessageRouter
+
+
+class DetLogAllToAll(AllToAllProtocol):
+    """Theorem 1.4: deterministic, O(log n) iterations, alpha = Θ(1)."""
+
+    name = "det-logn"
+
+    def __init__(self, profile: ProtocolProfile = SIMULATION,
+                 routing_mode: str = "blocks"):
+        self.profile = profile
+        self.routing_mode = routing_mode
+        #: per-iteration invariant records (used by the Figure 2 benchmark)
+        self.trace = []
+
+    def run(self, instance: AllToAllInstance, net: CongestedClique,
+            seed: int = 0) -> np.ndarray:
+        n = instance.n
+        log_n = n.bit_length() - 1
+        if 1 << log_n != n:
+            raise ValueError(f"n={n} must be a power of two "
+                             f"(Lemma 2.8 reduces the general case)")
+        width = instance.width
+        router = SuperMessageRouter(net, self.profile, mode=self.routing_mode)
+        self.trace = []
+
+        # state[u] = (sources asc, targets asc, belief values |S| x |T|)
+        state = {
+            u: (np.array([u]), np.arange(n),
+                instance.messages[u].reshape(1, n).copy())
+            for u in range(n)
+        }
+
+        for i in range(1, log_n + 1):
+            bit = i - 1  # most significant first
+            messages = []
+            meta = {}
+            for u in range(n):
+                sources, targets, values = state[u]
+                half = targets.size // 2
+                lower_targets, upper_targets = targets[:half], targets[half:]
+                own_bit = (u >> (log_n - 1 - bit)) & 1
+                partner = flip(u, bit, 1 - own_bit, n)
+                # u keeps the half matching its own bit and ships the other
+                if own_bit == 0:
+                    keep_t, send_t = lower_targets, upper_targets
+                    keep_vals, send_vals = values[:, :half], values[:, half:]
+                else:
+                    keep_t, send_t = upper_targets, lower_targets
+                    keep_vals, send_vals = values[:, half:], values[:, :half]
+                messages.append(SuperMessage.make(
+                    u, 0, pack_block(send_vals, width), [partner]))
+                meta[u] = (sources, keep_t, keep_vals, partner)
+            result = router.route(messages, label=f"det-logn/iter{i}")
+
+            new_state = {}
+            for u in range(n):
+                sources, keep_t, keep_vals, partner = meta[u]
+                partner_sources = meta[partner][0]
+                received_bits = result.outputs[u][(partner, 0)]
+                received = unpack_block(
+                    received_bits, partner_sources.size * keep_t.size,
+                    width).reshape(partner_sources.size, keep_t.size)
+                merged_sources = np.concatenate([sources, partner_sources])
+                order = np.argsort(merged_sources)
+                merged_values = np.concatenate([keep_vals, received], axis=0)
+                new_state[u] = (merged_sources[order], keep_t,
+                                merged_values[order])
+            state = new_state
+            self.trace.append({
+                "iteration": i,
+                "sources_per_node": state[0][0].size,
+                "targets_per_node": state[0][1].size,
+                "rounds_so_far": net.rounds_used,
+            })
+
+        beliefs = np.full((n, n), -1, dtype=np.int64)
+        for u in range(n):
+            sources, targets, values = state[u]
+            assert targets.size == 1 and int(targets[0]) == u
+            beliefs[sources, u] = values[:, 0]
+        return beliefs

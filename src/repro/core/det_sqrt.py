@@ -1,0 +1,93 @@
+"""Deterministic O(1)-round AllToAllComm for alpha = O(1/sqrt(n)).
+
+Theorem 1.5 / Section 6.2 (Figure 3).  Two super-message routing steps over
+the sqrt(n) x sqrt(n) segment grid:
+
+1. node ``v`` (in segment S_i) sends ``M°({v}, S_j)`` to ``S_i[j]`` — after
+   which segment ``S_i`` collectively holds ``M(S_i, V)``;
+2. node ``S_i[j]`` sends ``M°(S_i, {S_j[l]})`` to ``S_j[l]`` — after which
+   every node ``v`` holds ``M(V, {v})``.
+
+Each step is one SuperMessagesRouting instance with sqrt(n) super-messages
+of sqrt(n) * width bits per node, matching Lemmas 6.5 and 6.6.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cliquesim.network import CongestedClique
+from repro.cliquesim.topology import sqrt_segments
+from repro.core.messages import AllToAllInstance
+from repro.core.profiles import ProtocolProfile, SIMULATION
+from repro.core.protocol import AllToAllProtocol, pack_block, unpack_block
+from repro.core.routing import SuperMessage, SuperMessageRouter
+
+
+class DetSqrtAllToAll(AllToAllProtocol):
+    """Theorem 1.5: deterministic, O(1) routing steps, alpha = Θ(1/sqrt n)."""
+
+    name = "det-sqrt"
+
+    def __init__(self, profile: ProtocolProfile = SIMULATION,
+                 routing_mode: str = "blocks"):
+        self.profile = profile
+        self.routing_mode = routing_mode
+
+    def run(self, instance: AllToAllInstance, net: CongestedClique,
+            seed: int = 0) -> np.ndarray:
+        n = instance.n
+        root = math.isqrt(n)
+        if root * root != n:
+            raise ValueError(f"n={n} must be a perfect square "
+                             f"(Lemma 2.8 reduces the general case)")
+        width = instance.width
+        segments = sqrt_segments(n)
+        router = SuperMessageRouter(net, self.profile, mode=self.routing_mode)
+
+        # -- Step 1: v in S_i sends M°({v}, S_j) to S_i[j] --------------------
+        step1 = []
+        for v in range(n):
+            own_segment = v // root
+            for j in range(root):
+                bits = pack_block(instance.messages[v, segments[j]], width)
+                target = int(segments[own_segment][j])
+                step1.append(SuperMessage.make(v, j, bits, [target]))
+        result1 = router.route(step1, label="det-sqrt/step1")
+
+        # S_i[j] reassembles its belief of M(S_i, S_j): one row per source in
+        # S_i (each arrived as the slot-j super-message of that source)
+        held = {}
+        for i in range(root):
+            for j in range(root):
+                holder = int(segments[i][j])
+                block = np.zeros((root, root), dtype=np.int64)
+                for row, v in enumerate(segments[i]):
+                    bits = result1.outputs[holder][(int(v), j)]
+                    block[row] = unpack_block(bits, root, width)
+                held[(i, j)] = block
+
+        # -- Step 2: S_i[j] sends M°(S_i, {S_j[l]}) to S_j[l] ------------------
+        step2 = []
+        for i in range(root):
+            for j in range(root):
+                holder = int(segments[i][j])
+                block = held[(i, j)]
+                for col in range(root):
+                    bits = pack_block(block[:, col], width)
+                    target = int(segments[j][col])
+                    step2.append(SuperMessage.make(holder, col, bits, [target]))
+        result2 = router.route(step2, label="det-sqrt/step2")
+
+        # -- Output: v = S_j[l] holds M(S_i, {v}) for every i ------------------
+        beliefs = np.full((n, n), -1, dtype=np.int64)
+        for j in range(root):
+            for col in range(root):
+                v = int(segments[j][col])
+                for i in range(root):
+                    holder = int(segments[i][j])
+                    bits = result2.outputs[v][(holder, col)]
+                    beliefs[segments[i], v] = unpack_block(bits, root, width)
+        return beliefs

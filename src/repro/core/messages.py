@@ -1,0 +1,89 @@
+"""The AllToAllComm problem (Definition 1) and message bookkeeping.
+
+An instance fixes, for every ordered pair ``(u, v)``, a ``width``-bit
+message ``m[u, v]`` that ``u`` must convey to ``v``.  A protocol's output is
+a *belief matrix* ``O`` with ``O[u, v]`` = what node ``v`` concluded
+``m[u, v]`` was (``-1`` for "no conclusion"); verification compares it with
+the truth.  Message ids follow the paper: ``id(m_{u,v}) = id(u) ◦ id(v)``,
+flattened to ``u * n + v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class AllToAllInstance:
+    """One AllToAllComm instance: n nodes, width-bit pairwise messages."""
+
+    n: int
+    width: int
+    messages: np.ndarray  # (n, n) int64, values in [0, 2^width)
+
+    def __post_init__(self) -> None:
+        self.messages = np.asarray(self.messages, dtype=np.int64)
+        if self.messages.shape != (self.n, self.n):
+            raise ValueError(
+                f"message matrix must be ({self.n}, {self.n})")
+        if self.messages.min() < 0 or self.messages.max() >= 1 << self.width:
+            raise ValueError(f"messages must fit in {self.width} bits")
+
+    @classmethod
+    def random(cls, n: int, width: int = 1, seed: int = 0) -> "AllToAllInstance":
+        rng = make_rng(seed)
+        messages = rng.integers(0, 1 << width, size=(n, n), dtype=np.int64)
+        return cls(n=n, width=width, messages=messages)
+
+    def message_id(self, u: int, v: int) -> int:
+        """id(u, v) = id(u) ◦ id(v) as a flat integer."""
+        return u * self.n + v
+
+    def element_id(self, u: int, v: int) -> int:
+        """id(u, v) ◦ m_{u,v} — the sketch universe element of Section 5.2."""
+        return (u * self.n + v) * (1 << self.width) + int(self.messages[u, v])
+
+    def element_universe(self) -> int:
+        """Size of the id◦payload universe."""
+        return self.n * self.n * (1 << self.width)
+
+
+@dataclass
+class ProtocolReport:
+    """Outcome of one protocol execution against one adversary."""
+
+    protocol: str
+    n: int
+    alpha: float
+    rounds: int
+    bits_sent: int
+    correct_entries: int
+    total_entries: int
+    entries_corrupted_in_transit: int
+    extra: Dict = field(default_factory=dict)
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct_entries / self.total_entries
+
+    @property
+    def perfect(self) -> bool:
+        return self.correct_entries == self.total_entries
+
+    def __str__(self) -> str:
+        return (f"[{self.protocol}] n={self.n} alpha={self.alpha:.4g} "
+                f"rounds={self.rounds} accuracy={self.accuracy:.4%} "
+                f"(transit corruptions: {self.entries_corrupted_in_transit})")
+
+
+def verify_beliefs(instance: AllToAllInstance, beliefs: np.ndarray) -> int:
+    """Number of (u, v) pairs where v's belief matches the true message."""
+    beliefs = np.asarray(beliefs, dtype=np.int64)
+    if beliefs.shape != instance.messages.shape:
+        raise ValueError("belief matrix shape mismatch")
+    return int(np.count_nonzero(beliefs == instance.messages))

@@ -1,0 +1,51 @@
+"""Protocol base class and message-block packing helpers.
+
+``M°(A, B)`` (Equation 1 of the paper) is the concatenation of the messages
+``{m_{u,v} : u in A, v in B}`` in increasing order of message id
+``id(u) ◦ id(v)`` — i.e. source-major, then target — with each message
+contributing ``width`` little-endian bits.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.cliquesim.network import CongestedClique
+from repro.core.messages import AllToAllInstance
+
+
+class AllToAllProtocol(abc.ABC):
+    """A protocol solving AllToAllComm (Definition 1) on a given network."""
+
+    #: short name used by the registry and the benchmark tables
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self, instance: AllToAllInstance, net: CongestedClique,
+            seed: int = 0) -> np.ndarray:
+        """Execute on ``net`` and return the belief matrix ``O`` with
+        ``O[u, v]`` = node v's conclusion about ``m_{u,v}`` (-1 = none)."""
+
+
+def pack_block(values: np.ndarray, width: int) -> np.ndarray:
+    """Pack an integer array (any shape, id-ordered when flattened row-major)
+    into a flat bit array, ``width`` little-endian bits per entry."""
+    flat = np.asarray(values, dtype=np.int64).reshape(-1)
+    if flat.size == 0:
+        return np.zeros(0, dtype=np.uint8)
+    if flat.min() < 0 or flat.max() >= 1 << width:
+        raise ValueError(f"values do not fit in {width} bits")
+    bits = (flat[:, None] >> np.arange(width)[None, :]) & 1
+    return bits.astype(np.uint8).reshape(-1)
+
+
+def unpack_block(bits: np.ndarray, count: int, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_block`: ``count`` integers of ``width`` bits."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size != count * width:
+        raise ValueError(f"expected {count * width} bits, got {bits.size}")
+    matrix = bits.reshape(count, width).astype(np.int64)
+    weights = (np.int64(1) << np.arange(width, dtype=np.int64))
+    return (matrix * weights[None, :]).sum(axis=1)

@@ -1,0 +1,151 @@
+"""Lemma 2.8: AllToAllComm for arbitrary n via covering sub-cliques.
+
+The protocols impose shape constraints on n (a power of two for
+Theorem 1.4, a perfect square for Theorem 1.5, divisibility for the
+adaptive compiler's partitions).  Lemma 2.8 removes them: pick
+``n' in [n/2, n]`` of the right shape, build **ten** subsets
+``V_1..V_10`` of size n' such that every pair of nodes appears together in
+at least one subset, and run the n'-protocol on each subset.  Any node pair
+(u, v) is covered by some V_i, so v learns m_{u,v} from that execution; the
+faulty-degree budget transfers because ``deg_{F_j}(u) <= alpha*n/2 <=
+alpha*n'`` — i.e. an (alpha/2)-adversary on the big clique looks like an
+alpha-adversary to every sub-clique.
+
+The construction follows the lemma: partition V into five blocks
+``S_1..S_5``; for each of the C(5,2) = 10 block pairs, take their union and
+pad with arbitrary other nodes up to n'.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.adversary.base import Adversary, NullAdversary
+from repro.cliquesim.network import CongestedClique
+from repro.core.messages import AllToAllInstance, ProtocolReport, verify_beliefs
+from repro.core.protocol import AllToAllProtocol
+
+
+def largest_power_of_two_at_most(n: int) -> int:
+    return 1 << (n.bit_length() - 1)
+
+
+def largest_perfect_square_at_most(n: int) -> int:
+    root = math.isqrt(n)
+    return root * root
+
+
+def admissible_subclique_size(n: int, shape: str) -> int:
+    """Largest n' <= n of the requested shape; Lemma 2.8 needs n' >= n/2,
+    which both shapes satisfy for n >= 4 (powers of two double; square gaps
+    are 2*sqrt(n)+1 <= n/2 for n >= 25, and the small cases are checked)."""
+    if shape == "power-of-two":
+        candidate = largest_power_of_two_at_most(n)
+    elif shape == "perfect-square":
+        candidate = largest_perfect_square_at_most(n)
+    elif shape == "any":
+        return n
+    else:
+        raise ValueError(f"unknown shape {shape!r}")
+    if candidate * 2 < n:
+        raise ValueError(
+            f"no {shape} size in [{-(-n // 2)}, {n}] — n={n} too small "
+            f"for the Lemma 2.8 reduction")
+    return candidate
+
+
+def covering_subsets(n: int, subset_size: int) -> List[np.ndarray]:
+    """The ten pair-covering subsets of Lemma 2.8's proof."""
+    if not n // 2 <= subset_size <= n:
+        raise ValueError(
+            f"subset size {subset_size} must be in [n/2, n] = "
+            f"[{-(-n // 2)}, {n}]")
+    block_size = n // 5
+    blocks = [np.arange(i * block_size, (i + 1) * block_size)
+              for i in range(4)]
+    blocks.append(np.arange(4 * block_size, n))
+    subsets = []
+    for j, k in itertools.combinations(range(5), 2):
+        union = np.concatenate([blocks[j], blocks[k]])
+        if union.size > subset_size:
+            raise ValueError(
+                f"block pair of {union.size} nodes exceeds subset size "
+                f"{subset_size}")
+        member_mask = np.zeros(n, dtype=bool)
+        member_mask[union] = True
+        filler = np.flatnonzero(~member_mask)[:subset_size - union.size]
+        subset = np.sort(np.concatenate([union, filler]))
+        subsets.append(subset)
+    return subsets
+
+
+@dataclass
+class ReductionReport:
+    """Outcome of a Lemma 2.8 execution."""
+
+    n: int
+    subclique_size: int
+    executions: int
+    total_rounds: int
+    correct_entries: int
+    total_entries: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct_entries / self.total_entries
+
+    @property
+    def perfect(self) -> bool:
+        return self.correct_entries == self.total_entries
+
+
+def solve_any_n(instance: AllToAllInstance,
+                protocol_factory: Callable[[], AllToAllProtocol],
+                adversary_factory: Optional[Callable[[int], Adversary]] = None,
+                shape: str = "any",
+                bandwidth: int = 32,
+                seed: int = 0) -> ReductionReport:
+    """Solve an AllToAllComm instance of arbitrary n with a shape-restricted
+    protocol, via the Lemma 2.8 covering reduction.
+
+    ``adversary_factory(execution_index)`` builds a fresh adversary per
+    sub-execution (each sub-clique run is a self-contained protocol whose
+    faulty-degree budget the lemma accounts for with the alpha/2 factor).
+    """
+    n = instance.n
+    sub_n = admissible_subclique_size(n, shape)
+    if sub_n == n:
+        subsets = [np.arange(n)]
+    else:
+        subsets = covering_subsets(n, sub_n)
+
+    beliefs = np.full((n, n), -1, dtype=np.int64)
+    total_rounds = 0
+    for execution, subset in enumerate(subsets):
+        sub_messages = instance.messages[np.ix_(subset, subset)]
+        sub_instance = AllToAllInstance(n=sub_n, width=instance.width,
+                                        messages=sub_messages)
+        adversary = (adversary_factory(execution) if adversary_factory
+                     else NullAdversary())
+        net = CongestedClique(sub_n, bandwidth=bandwidth, adversary=adversary)
+        sub_beliefs = protocol_factory().run(sub_instance, net,
+                                             seed=seed + 97 * execution)
+        total_rounds += net.rounds_used
+        # merge: any covering execution that delivered (u, v) fills it in
+        beliefs[np.ix_(subset, subset)] = np.where(
+            sub_beliefs >= 0, sub_beliefs, beliefs[np.ix_(subset, subset)])
+
+    correct = verify_beliefs(instance, beliefs)
+    return ReductionReport(
+        n=n,
+        subclique_size=sub_n,
+        executions=len(subsets),
+        total_rounds=total_rounds,
+        correct_entries=correct,
+        total_entries=n * n,
+    )

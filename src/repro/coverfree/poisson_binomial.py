@@ -1,0 +1,43 @@
+"""Poisson-binomial distribution helpers (Lemma A.2).
+
+The LLL derandomisation of Appendix A needs, as its partial expectation
+oracle, exact tail probabilities of a sum of independent (non-identical)
+Bernoulli variables.  The classical O(L^2) dynamic program below computes
+the full pmf; Shah's recurrence (reference [61]) gives the same result — we
+use the DP because it vectorises cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def poisson_binomial_pmf(probabilities: Sequence[float]) -> np.ndarray:
+    """pmf[j] = Pr(X = j) for X = sum of independent Bernoulli(p_i)."""
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if probs.size and (probs.min() < -1e-12 or probs.max() > 1 + 1e-12):
+        raise ValueError("probabilities must lie in [0, 1]")
+    probs = np.clip(probs, 0.0, 1.0)
+    pmf = np.zeros(probs.size + 1, dtype=np.float64)
+    pmf[0] = 1.0
+    for i, p in enumerate(probs):
+        # after seeing i+1 variables the support is [0, i+1]
+        upper = i + 2
+        shifted = np.zeros(upper, dtype=np.float64)
+        shifted[1:] = pmf[:upper - 1] * p
+        pmf[:upper] = pmf[:upper] * (1.0 - p)
+        pmf[:upper] += shifted
+    return pmf
+
+
+def poisson_binomial_tail(probabilities: Sequence[float],
+                          threshold: int) -> float:
+    """Pr(X > threshold)."""
+    pmf = poisson_binomial_pmf(probabilities)
+    if threshold >= pmf.size - 1:
+        return 0.0
+    if threshold < 0:
+        return 1.0
+    return float(pmf[threshold + 1:].sum())

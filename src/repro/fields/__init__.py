@@ -1,0 +1,6 @@
+"""Finite-field arithmetic substrates: GF(p) and GF(2^m)."""
+
+from repro.fields.gfp import PrimeField, is_prime, next_prime
+from repro.fields.gf2m import GF2m
+
+__all__ = ["PrimeField", "GF2m", "is_prime", "next_prime"]

@@ -1,0 +1,15 @@
+"""k-wise independent hashing (Lemma 2.5) and concentration bounds."""
+
+from repro.hashing.kwise import (
+    KWiseHash,
+    KWiseHashFamily,
+    corollary_2_7_threshold,
+    kwise_tail_bound,
+)
+
+__all__ = [
+    "KWiseHash",
+    "KWiseHashFamily",
+    "corollary_2_7_threshold",
+    "kwise_tail_bound",
+]

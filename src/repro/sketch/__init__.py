@@ -1,0 +1,12 @@
+"""Sparse-recovery sketches (Lemma 2.3) used to locate and correct the
+corrupted messages in the adaptive compiler (Lemma 2.4, Section 5.2)."""
+
+from repro.sketch.onesparse import OneSparseCell
+from repro.sketch.ksparse import KSparseSketch, SketchRecoveryError, SketchSpec
+
+__all__ = [
+    "OneSparseCell",
+    "KSparseSketch",
+    "SketchRecoveryError",
+    "SketchSpec",
+]

@@ -1,0 +1,227 @@
+"""k-sparse recovery sketches (Lemma 2.3).
+
+A sketch is a ``rows x buckets`` grid of 1-sparse cells.  Every update
+``Add(id, frequency)`` touches one cell per row (chosen by a per-row
+pairwise-independent hash); ``recover`` peels: find any cell that verifiably
+holds a single id, subtract that id everywhere, repeat.  With
+``buckets >= 2k`` and a few rows this recovers any k-sparse multiset with
+high probability — exactly the interface Lemma 2.3 postulates (``L(σ, R)``,
+``Add``, ``Recover``), including determinism given the shared randomness R.
+
+Sketches serialise to a *fixed* bit width ``spec.total_bits`` (the paper's
+``t``; Section 5.2 pads all sketches to a common length so that every sketch
+lands at a predictable offset inside the concatenation ``Sk(P_j)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.hashing.kwise import KWiseHashFamily
+from repro.sketch.onesparse import OneSparseCell
+from repro.utils.bits import BitArray, bits_from_int, int_from_bits
+from repro.utils.rng import derive
+
+_FINGERPRINT_PRIME = (1 << 61) - 1
+
+
+class SketchRecoveryError(Exception):
+    """Recovery failed (support larger than k, or corrupted sketch state)."""
+
+
+@dataclass(frozen=True)
+class SketchSpec:
+    """Shared layout parameters; every node derives the identical spec from
+    the protocol parameters, so serialised sketches are interoperable."""
+
+    capacity: int            # k: max support size guaranteed recoverable
+    max_id: int              # ids live in [0, max_id]
+    max_abs_count: int       # |net frequency per cell| bound for serialisation
+    rows: int = 3
+    fingerprint_prime: int = _FINGERPRINT_PRIME
+
+    @property
+    def buckets(self) -> int:
+        return max(2, 2 * self.capacity)
+
+    @property
+    def count_bits(self) -> int:
+        return (2 * self.max_abs_count + 1).bit_length()
+
+    @property
+    def id_sum_bits(self) -> int:
+        return (2 * self.max_id * self.max_abs_count + 1).bit_length() + 1
+
+    @property
+    def fingerprint_bits(self) -> int:
+        return self.fingerprint_prime.bit_length()
+
+    @property
+    def cell_bits(self) -> int:
+        return self.count_bits + self.id_sum_bits + self.fingerprint_bits
+
+    @property
+    def total_bits(self) -> int:
+        """The fixed serialised size t of one sketch."""
+        return self.rows * self.buckets * self.cell_bits
+
+
+_RANDOMNESS_CACHE: Dict[tuple, tuple] = {}
+
+
+def _sketch_randomness(spec: SketchSpec, seed: int) -> tuple:
+    """Derive (and cache) the fingerprint base and row hashes for a given
+    (spec, seed).  The adaptive compiler instantiates thousands of sketches
+    sharing the same randomness R2, so this is on the hot path."""
+    key = (spec, seed)
+    cached = _RANDOMNESS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    rng = derive(seed, "ksparse-z")
+    z = int(rng.integers(1, spec.fingerprint_prime))
+    family = KWiseHashFamily(2, spec.max_id + 1, spec.buckets)
+    hashes = tuple(
+        family.sample(derive(seed, f"ksparse-row:{row}"))
+        for row in range(spec.rows)
+    )
+    # precompute bucket choice for every id when the universe is small enough
+    if spec.max_id < 1 << 22:
+        ids = np.arange(spec.max_id + 1, dtype=np.int64)
+        bucket_table = np.stack([h(ids) for h in hashes])
+    else:
+        bucket_table = None
+    value = (z, hashes, bucket_table)
+    _RANDOMNESS_CACHE[key] = value
+    return value
+
+
+class KSparseSketch:
+    """A k-sparse recovery sketch with shared randomness ``seed``."""
+
+    def __init__(self, spec: SketchSpec, seed: int):
+        self.spec = spec
+        self.seed = seed
+        self._z, self._hashes, self._bucket_table = _sketch_randomness(spec, seed)
+        self._cells: List[List[OneSparseCell]] = [
+            [OneSparseCell(z=self._z, prime=spec.fingerprint_prime)
+             for _ in range(spec.buckets)]
+            for _ in range(spec.rows)
+        ]
+
+    # -- updates -------------------------------------------------------------
+    def add(self, element_id: int, frequency: int) -> None:
+        if not 0 <= element_id <= self.spec.max_id:
+            raise ValueError(
+                f"id {element_id} outside universe [0, {self.spec.max_id}]")
+        if self._bucket_table is not None:
+            for row in range(self.spec.rows):
+                bucket = int(self._bucket_table[row, element_id])
+                self._cells[row][bucket].add(element_id, frequency)
+        else:
+            for row, hash_fn in enumerate(self._hashes):
+                bucket = int(hash_fn(element_id))
+                self._cells[row][bucket].add(element_id, frequency)
+
+    def merge(self, other: "KSparseSketch") -> None:
+        if self.spec != other.spec or self.seed != other.seed:
+            raise ValueError("sketches must share spec and randomness")
+        for row in range(self.spec.rows):
+            for bucket in range(self.spec.buckets):
+                self._cells[row][bucket].merge(other._cells[row][bucket])
+
+    def copy(self) -> "KSparseSketch":
+        clone = KSparseSketch(self.spec, self.seed)
+        for row in range(self.spec.rows):
+            for bucket in range(self.spec.buckets):
+                cell = self._cells[row][bucket]
+                target = clone._cells[row][bucket]
+                target.count = cell.count
+                target.id_sum = cell.id_sum
+                target.fingerprint = cell.fingerprint
+        return clone
+
+    # -- recovery ------------------------------------------------------------
+    def recover(self) -> Dict[int, int]:
+        """Return {id: net frequency} for all non-zero-frequency ids.
+
+        Deterministic given the sketch state (the paper's ``Recover``).
+        Raises :class:`SketchRecoveryError` when peeling stalls — which, with
+        high probability, only happens when the support exceeds the capacity
+        or the sketch bits were corrupted in transit.
+        """
+        work = self.copy()
+        recovered: Dict[int, int] = {}
+        budget = self.spec.rows * self.spec.buckets * (self.spec.capacity + 2)
+        for _ in range(budget):
+            if all(cell.is_zero()
+                   for row in work._cells for cell in row):
+                return recovered
+            progressed = False
+            for row in work._cells:
+                for cell in row:
+                    if cell.is_zero():
+                        continue
+                    item = cell.recover(self.spec.max_id)
+                    if item is None:
+                        continue
+                    element_id, frequency = item
+                    if frequency == 0:
+                        continue
+                    recovered[element_id] = recovered.get(element_id, 0) + frequency
+                    if recovered[element_id] == 0:
+                        del recovered[element_id]
+                    work.add(element_id, -frequency)
+                    progressed = True
+                    break
+                if progressed:
+                    break
+            if not progressed:
+                raise SketchRecoveryError("peeling stalled")
+        raise SketchRecoveryError("peeling budget exhausted")
+
+    # -- fixed-width serialisation (the paper's t-bit encoding) --------------
+    def to_bits(self) -> BitArray:
+        spec = self.spec
+        parts = []
+        for row in self._cells:
+            for cell in row:
+                if abs(cell.count) > spec.max_abs_count:
+                    raise ValueError("cell count exceeds serialisable range")
+                if abs(cell.id_sum) > spec.max_id * spec.max_abs_count:
+                    raise ValueError("cell id_sum exceeds serialisable range")
+                parts.append(bits_from_int(
+                    cell.count + spec.max_abs_count, spec.count_bits))
+                parts.append(bits_from_int(
+                    cell.id_sum + spec.max_id * spec.max_abs_count,
+                    spec.id_sum_bits))
+                parts.append(bits_from_int(
+                    cell.fingerprint % spec.fingerprint_prime,
+                    spec.fingerprint_bits))
+        return np.concatenate(parts)
+
+    @classmethod
+    def from_bits(cls, spec: SketchSpec, seed: int,
+                  bits: BitArray) -> "KSparseSketch":
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size != spec.total_bits:
+            raise ValueError(
+                f"expected {spec.total_bits} bits, got {bits.size}")
+        sketch = cls(spec, seed)
+        cursor = 0
+        for row in range(spec.rows):
+            for bucket in range(spec.buckets):
+                cell = sketch._cells[row][bucket]
+                cell.count = int_from_bits(
+                    bits[cursor:cursor + spec.count_bits]) - spec.max_abs_count
+                cursor += spec.count_bits
+                cell.id_sum = (int_from_bits(
+                    bits[cursor:cursor + spec.id_sum_bits])
+                    - spec.max_id * spec.max_abs_count)
+                cursor += spec.id_sum_bits
+                cell.fingerprint = int_from_bits(
+                    bits[cursor:cursor + spec.fingerprint_bits])
+                cursor += spec.fingerprint_bits
+        return sketch

@@ -1,0 +1,66 @@
+"""1-sparse recovery cells — the building block of k-sparse sketches.
+
+A cell summarises a stream of (id, frequency) updates with three counters:
+
+* ``count``       — sum of frequencies,
+* ``id_sum``      — sum of id * frequency,
+* ``fingerprint`` — sum of frequency * z^id  (mod p) for a random base z.
+
+If the non-zero-frequency support of the stream is exactly one id, the cell
+recovers it exactly; the fingerprint makes a false positive (a multi-id cell
+masquerading as 1-sparse) happen with probability at most
+``max_id / p`` over the choice of z (Schwartz–Zippel on the polynomial
+``sum_e f(e) z^e``).  This follows the l0-sampling framework surveyed by
+Cormode & Firmani (reference [21] of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+_FINGERPRINT_PRIME = (1 << 61) - 1  # Mersenne prime: fast and huge
+
+
+@dataclass
+class OneSparseCell:
+    """A single 1-sparse recovery cell."""
+
+    z: int
+    prime: int = _FINGERPRINT_PRIME
+    count: int = 0
+    id_sum: int = 0
+    fingerprint: int = 0
+
+    def add(self, element_id: int, frequency: int) -> None:
+        if element_id < 0:
+            raise ValueError("element ids must be non-negative")
+        self.count += frequency
+        self.id_sum += element_id * frequency
+        self.fingerprint = (
+            self.fingerprint + frequency * pow(self.z, element_id, self.prime)
+        ) % self.prime
+
+    def is_zero(self) -> bool:
+        return self.count == 0 and self.id_sum == 0 and self.fingerprint == 0
+
+    def recover(self, max_id: int) -> Optional[Tuple[int, int]]:
+        """Return ``(id, frequency)`` if the cell verifiably holds exactly one
+        id, else ``None``."""
+        if self.count == 0:
+            return None
+        quotient, remainder = divmod(self.id_sum, self.count)
+        if remainder != 0 or not 0 <= quotient <= max_id:
+            return None
+        expected = self.count * pow(self.z, quotient, self.prime) % self.prime
+        if expected != self.fingerprint % self.prime:
+            return None
+        return quotient, self.count
+
+    def merge(self, other: "OneSparseCell") -> None:
+        """Cells are linear: merging is coordinate-wise addition."""
+        if (self.z, self.prime) != (other.z, other.prime):
+            raise ValueError("cannot merge cells with different randomness")
+        self.count += other.count
+        self.id_sum += other.id_sum
+        self.fingerprint = (self.fingerprint + other.fingerprint) % self.prime

@@ -1,0 +1,28 @@
+"""Shared utilities: bit vectors and deterministic randomness."""
+
+from repro.utils.bits import (
+    as_bits,
+    bits_from_int,
+    concat_bits,
+    hamming_distance,
+    int_from_bits,
+    pad_bits,
+    random_bits,
+    split_bits,
+)
+from repro.utils.rng import derive, derive_seed, fresh_seed, make_rng
+
+__all__ = [
+    "as_bits",
+    "bits_from_int",
+    "concat_bits",
+    "hamming_distance",
+    "int_from_bits",
+    "pad_bits",
+    "random_bits",
+    "split_bits",
+    "derive",
+    "derive_seed",
+    "fresh_seed",
+    "make_rng",
+]

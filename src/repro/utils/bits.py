@@ -1,0 +1,100 @@
+"""Bit-vector helpers.
+
+All protocol payloads in this library are ultimately bit strings.  We
+represent a bit string as a one-dimensional :class:`numpy.ndarray` of dtype
+``uint8`` whose entries are 0/1.  These helpers convert between that
+representation, Python integers, and fixed-width chunk views, and implement
+the padding conventions the paper relies on (e.g. padding sketches to a fixed
+bit-length ``t``, Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+BitArray = np.ndarray
+
+
+def bits_from_int(value: int, width: int) -> BitArray:
+    """Little-endian bit decomposition of ``value`` into exactly ``width`` bits.
+
+    Raises ``ValueError`` if ``value`` does not fit in ``width`` bits or is
+    negative; protocols always know the widths of what they transmit, so a
+    mismatch indicates a logic error rather than data to be truncated.
+    """
+    if value < 0:
+        raise ValueError(f"cannot encode negative value {value}")
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    if value >> width:
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    out = np.zeros(width, dtype=np.uint8)
+    for i in range(width):
+        out[i] = (value >> i) & 1
+    return out
+
+
+def int_from_bits(bits: Sequence[int]) -> int:
+    """Inverse of :func:`bits_from_int` (little-endian)."""
+    value = 0
+    for i, b in enumerate(bits):
+        if b not in (0, 1):
+            raise ValueError(f"bit at position {i} is {b}, expected 0/1")
+        value |= int(b) << i
+    return value
+
+
+def as_bits(data: Iterable[int]) -> BitArray:
+    """Coerce an iterable of 0/1 values into a canonical bit array."""
+    arr = np.asarray(list(data) if not isinstance(data, np.ndarray) else data,
+                     dtype=np.uint8)
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-d bit data, got shape {arr.shape}")
+    if arr.size and arr.max() > 1:
+        raise ValueError("bit array contains values other than 0/1")
+    return arr
+
+
+def concat_bits(parts: Sequence[BitArray]) -> BitArray:
+    """Concatenate bit arrays (the paper's ``◦`` operator)."""
+    if not parts:
+        return np.zeros(0, dtype=np.uint8)
+    return np.concatenate([as_bits(p) for p in parts])
+
+
+def pad_bits(bits: BitArray, length: int) -> BitArray:
+    """Zero-pad ``bits`` on the right up to ``length`` bits."""
+    bits = as_bits(bits)
+    if bits.size > length:
+        raise ValueError(f"cannot pad {bits.size} bits down to {length}")
+    if bits.size == length:
+        return bits
+    return np.concatenate([bits, np.zeros(length - bits.size, dtype=np.uint8)])
+
+
+def split_bits(bits: BitArray, chunk: int) -> List[BitArray]:
+    """Split into consecutive chunks of exactly ``chunk`` bits (zero-padding
+    the final chunk).  ``chunk`` must be positive."""
+    if chunk <= 0:
+        raise ValueError("chunk size must be positive")
+    bits = as_bits(bits)
+    n_chunks = max(1, -(-bits.size // chunk))
+    padded = pad_bits(bits, n_chunks * chunk)
+    return [padded[i * chunk:(i + 1) * chunk] for i in range(n_chunks)]
+
+
+def hamming_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Hamming distance between two equal-length symbol sequences
+    (Definition 2 of the paper)."""
+    a_arr = np.asarray(a)
+    b_arr = np.asarray(b)
+    if a_arr.shape != b_arr.shape:
+        raise ValueError(f"length mismatch: {a_arr.shape} vs {b_arr.shape}")
+    return int(np.count_nonzero(a_arr != b_arr))
+
+
+def random_bits(rng: np.random.Generator, length: int) -> BitArray:
+    """Uniformly random bit string of the given length."""
+    return rng.integers(0, 2, size=length, dtype=np.uint8)

@@ -1,0 +1,43 @@
+"""Deterministic randomness management.
+
+Every randomized object in the library draws from a
+:class:`numpy.random.Generator` so that whole protocol executions are
+reproducible from a single integer seed.  ``derive`` produces independent
+child streams from a parent seed and a label, which is how we model the
+paper's *shared random strings* (R1, R2, R3 in Section 5.2): a node that
+learns the broadcast seed can expand it into exactly the same stream as every
+other node.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """Create a generator from an integer seed."""
+    return np.random.default_rng(seed)
+
+
+def derive_seed(parent_seed: int, label: str) -> int:
+    """Derive a 63-bit child seed from a parent seed and a string label.
+
+    Uses SHA-256 so that distinct labels give independent-looking streams and
+    the derivation is stable across platforms and Python versions (``hash()``
+    is salted per-process and unsuitable).
+    """
+    digest = hashlib.sha256(f"{parent_seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") >> 1
+
+
+def derive(parent_seed: int, label: str) -> np.random.Generator:
+    """Child generator for ``label`` under ``parent_seed``."""
+    return make_rng(derive_seed(parent_seed, label))
+
+
+def fresh_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh 63-bit seed (e.g. the content of a broadcast random
+    string) from an existing stream."""
+    return int(rng.integers(0, 2**63 - 1, dtype=np.int64))

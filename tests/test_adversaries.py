@@ -1,0 +1,206 @@
+"""Unit tests for adversary framework: budget, strategies, NBD/ABD."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.adaptive import (
+    AdaptiveAdversary,
+    SlidingWindowAdversary,
+    TargetedAdaptiveAdversary,
+)
+from repro.adversary.base import RoundView
+from repro.adversary.budget import (
+    FaultBudgetViolation,
+    fault_degrees,
+    greedy_symmetric_selection,
+    max_faulty_degree,
+    validate_fault_set,
+)
+from repro.adversary.nonadaptive import NonAdaptiveAdversary
+from repro.adversary.strategies import (
+    BlockStrategy,
+    NoEdgesStrategy,
+    RandomRegularStrategy,
+    RoundRobinMatchingStrategy,
+    StaticStrategy,
+    corrupt_drop,
+    corrupt_flip,
+    corrupt_random,
+)
+from repro.utils.rng import make_rng
+
+
+def view_for(n, width=1, intended=None, index=0, label=""):
+    if intended is None:
+        intended = np.ones((n, n), dtype=np.int64)
+    return RoundView(index=index, width=width, intended=intended,
+                     history=[], label=label)
+
+
+class TestBudget:
+    def test_max_faulty_degree(self):
+        assert max_faulty_degree(100, 0.05) == 5
+        assert max_faulty_degree(100, 0.0) == 0
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            max_faulty_degree(10, 1.5)
+
+    def test_validate_ok(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 1] = mask[1, 0] = True
+        validate_fault_set(mask, 4, 0.25)
+
+    def test_validate_rejects_asymmetric(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 1] = True
+        with pytest.raises(FaultBudgetViolation):
+            validate_fault_set(mask, 4, 0.5)
+
+    def test_validate_rejects_self_loop(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[2, 2] = True
+        with pytest.raises(FaultBudgetViolation):
+            validate_fault_set(mask, 4, 0.5)
+
+    def test_validate_rejects_over_budget(self):
+        mask = np.ones((4, 4), dtype=bool)
+        np.fill_diagonal(mask, False)
+        with pytest.raises(FaultBudgetViolation):
+            validate_fault_set(mask, 4, 0.25)  # budget 1, degrees 3
+
+    def test_fault_degrees(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, [1, 2]] = True
+        mask[[1, 2], 0] = True
+        assert list(fault_degrees(mask)) == [2, 1, 1, 0]
+
+    def test_greedy_selection_respects_budget(self):
+        rng = make_rng(5)
+        priorities = rng.random((16, 16))
+        mask = greedy_symmetric_selection(priorities, budget=3, rng=rng)
+        validate_fault_set(mask, 16, 3 / 16)
+        assert fault_degrees(mask).max() == 3  # greedy saturates
+
+    def test_greedy_zero_budget(self):
+        rng = make_rng(5)
+        mask = greedy_symmetric_selection(np.ones((8, 8)), 0, rng)
+        assert not mask.any()
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("n", [8, 9, 16])
+    def test_matching_is_degree_one(self, n):
+        strategy = RoundRobinMatchingStrategy()
+        for round_index in range(5):
+            mask = strategy(n, 1, round_index, make_rng(0))
+            assert fault_degrees(mask).max() <= 1
+
+    def test_matching_is_mobile(self):
+        strategy = RoundRobinMatchingStrategy()
+        a = strategy(8, 1, 0, make_rng(0))
+        b = strategy(8, 1, 1, make_rng(0))
+        assert not np.array_equal(a, b)
+
+    def test_random_regular_within_budget(self):
+        strategy = RandomRegularStrategy()
+        mask = strategy(16, 4, 0, make_rng(1))
+        assert fault_degrees(mask).max() <= 4
+        assert mask.sum() >= 16  # saturates a meaningful share
+
+    def test_block_strategy_within_budget(self):
+        strategy = BlockStrategy()
+        mask = strategy(16, 3, 2, make_rng(2))
+        validate_fault_set(mask, 16, 3 / 16)
+
+    def test_static_strategy_constant(self):
+        strategy = StaticStrategy()
+        rng = make_rng(3)
+        a = strategy(16, 2, 0, rng)
+        b = strategy(16, 2, 7, rng)
+        assert np.array_equal(a, b)
+
+    def test_no_edges(self):
+        assert not NoEdgesStrategy()(8, 4, 0, make_rng(0)).any()
+
+
+class TestContentAttacks:
+    def test_flip_inverts_bits(self):
+        intended = np.array([[-1, 0b101], [0b011, -1]], dtype=np.int64)
+        mask = np.array([[False, True], [True, False]])
+        out = corrupt_flip(intended, mask, width=3, rng=make_rng(0))
+        assert out[0, 1] == 0b010
+        assert out[1, 0] == 0b100
+
+    def test_flip_fabricates_on_silent_edges(self):
+        intended = np.full((2, 2), -1, dtype=np.int64)
+        mask = np.array([[False, True], [True, False]])
+        out = corrupt_flip(intended, mask, width=2, rng=make_rng(0))
+        assert out[0, 1] == 0b11
+
+    def test_drop(self):
+        intended = np.ones((2, 2), dtype=np.int64)
+        mask = np.array([[False, True], [False, False]])
+        out = corrupt_drop(intended, mask, width=1, rng=make_rng(0))
+        assert out[0, 1] == -1
+        assert out[1, 0] == 1
+
+    def test_random_stays_in_range(self):
+        intended = np.zeros((4, 4), dtype=np.int64)
+        mask = np.ones((4, 4), dtype=bool)
+        out = corrupt_random(intended, mask, width=3, rng=make_rng(0))
+        assert out.min() >= 0 and out.max() < 8
+
+
+class TestNonAdaptive:
+    def test_schedule_ignores_messages(self):
+        adv = NonAdaptiveAdversary(0.25, seed=3)
+        adv.begin_protocol(16)
+        a = adv.select_edges(view_for(16, intended=np.zeros((16, 16),
+                                                            dtype=np.int64)))
+        adv2 = NonAdaptiveAdversary(0.25, seed=3)
+        adv2.begin_protocol(16)
+        b = adv2.select_edges(view_for(
+            16, intended=np.ones((16, 16), dtype=np.int64) * 7, width=3))
+        assert np.array_equal(a, b)
+
+    def test_schedule_varies_by_round(self):
+        adv = NonAdaptiveAdversary(0.25, seed=3)
+        adv.begin_protocol(16)
+        a = adv.schedule_edges(0)
+        b = adv.schedule_edges(1)
+        assert not np.array_equal(a, b)
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(ValueError):
+            NonAdaptiveAdversary(0.1, content_attack="nope")
+
+
+class TestAdaptive:
+    def test_prefers_loaded_edges(self):
+        adv = AdaptiveAdversary(2 / 16, seed=0)
+        adv.begin_protocol(16)
+        intended = np.full((16, 16), -1, dtype=np.int64)
+        intended[0, 1] = intended[1, 0] = 1
+        intended[2, 3] = intended[3, 2] = 1
+        mask = adv.select_edges(view_for(16, intended=intended))
+        assert mask[0, 1] and mask[2, 3]
+
+    def test_budget_respected(self):
+        adv = AdaptiveAdversary(0.25, seed=1)
+        adv.begin_protocol(16)
+        mask = adv.select_edges(view_for(16))
+        assert fault_degrees(mask).max() <= 4
+
+    def test_targeted_boosts_victims(self):
+        adv = TargetedAdaptiveAdversary(2 / 16, victims=[5], seed=2)
+        adv.begin_protocol(16)
+        mask = adv.select_edges(view_for(16))
+        assert fault_degrees(mask)[5] == 2  # victim budget saturated
+
+    def test_sliding_window_moves(self):
+        adv = SlidingWindowAdversary(2 / 16, seed=3)
+        adv.begin_protocol(16)
+        a = adv.select_edges(view_for(16, index=0))
+        b = adv.select_edges(view_for(16, index=5))
+        assert not np.array_equal(a, b)

@@ -1,0 +1,49 @@
+"""Unit tests for the protocol registry and experiment runner."""
+
+import pytest
+
+from repro.adversary import AdaptiveAdversary, NullAdversary
+from repro.core import AllToAllInstance, make_protocol, run_protocol
+from repro.core.alltoall import PROTOCOLS, success_rate
+from repro.core.det_sqrt import DetSqrtAllToAll
+
+
+class TestRegistry:
+    def test_all_four_protocols_registered(self):
+        assert set(PROTOCOLS) == {"nonadaptive", "adaptive", "det-logn",
+                                  "det-sqrt"}
+
+    def test_make_protocol(self):
+        protocol = make_protocol("det-sqrt")
+        assert protocol.name == "det-sqrt"
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            make_protocol("nope")
+
+
+class TestRunner:
+    def test_report_fields(self):
+        instance = AllToAllInstance.random(16, width=1, seed=0)
+        report = run_protocol(DetSqrtAllToAll(), instance, NullAdversary(),
+                              bandwidth=16)
+        assert report.n == 16
+        assert report.alpha == 0.0
+        assert report.perfect
+        assert report.rounds > 0
+        assert report.bits_sent > 0
+
+    def test_transit_corruption_counted(self):
+        instance = AllToAllInstance.random(64, width=1, seed=1)
+        report = run_protocol(DetSqrtAllToAll(), instance,
+                              AdaptiveAdversary(1 / 32, seed=2),
+                              bandwidth=16)
+        assert report.entries_corrupted_in_transit > 0
+        assert report.perfect  # ...and yet every message arrived
+
+    def test_success_rate(self):
+        rate = success_rate(DetSqrtAllToAll, 16,
+                            lambda trial: AdaptiveAdversary(1 / 16,
+                                                            seed=trial),
+                            trials=3, bandwidth=16)
+        assert rate == 1.0

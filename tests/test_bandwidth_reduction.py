@@ -1,0 +1,69 @@
+"""Unit tests for the Lemma 2.9 bit-plane decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import AdaptiveAdversary, NullAdversary
+from repro.cliquesim.network import CongestedClique
+from repro.core.bandwidth_reduction import (
+    BitPlaneComposition,
+    merge_beliefs,
+    split_instance,
+)
+from repro.core.det_sqrt import DetSqrtAllToAll
+from repro.core.messages import AllToAllInstance, verify_beliefs
+
+
+class TestSplitMerge:
+    def test_split_shapes(self):
+        instance = AllToAllInstance.random(8, width=5, seed=1)
+        planes = split_instance(instance)
+        assert len(planes) == 5
+        assert all(p.width == 1 for p in planes)
+
+    def test_split_merge_identity(self):
+        instance = AllToAllInstance.random(8, width=5, seed=2)
+        planes = split_instance(instance)
+        merged = merge_beliefs([p.messages for p in planes])
+        assert np.array_equal(merged, instance.messages)
+
+    def test_merge_propagates_undecided(self):
+        plane0 = np.array([[1, 0], [0, 1]], dtype=np.int64)
+        plane1 = np.array([[0, -1], [1, 0]], dtype=np.int64)
+        merged = merge_beliefs([plane0, plane1])
+        assert merged[0, 1] == -1
+        assert merged[1, 0] == 0b10  # bit0 = 0, bit1 = 1
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_beliefs([])
+
+
+class TestComposition:
+    def test_fault_free(self):
+        instance = AllToAllInstance.random(16, width=3, seed=3)
+        protocol = BitPlaneComposition(DetSqrtAllToAll)
+        net = CongestedClique(16, bandwidth=16)
+        beliefs = protocol.run(instance, net)
+        assert verify_beliefs(instance, beliefs) == 256
+        assert len(protocol.plane_rounds) == 3
+        # the lemma: parallel composition costs max over planes
+        assert protocol.parallel_rounds == max(protocol.plane_rounds)
+        assert net.rounds_used == sum(protocol.plane_rounds)
+
+    def test_under_adversary(self):
+        instance = AllToAllInstance.random(16, width=2, seed=4)
+        protocol = BitPlaneComposition(DetSqrtAllToAll)
+        net = CongestedClique(16, bandwidth=16,
+                              adversary=AdaptiveAdversary(1 / 16, seed=5))
+        beliefs = protocol.run(instance, net)
+        assert verify_beliefs(instance, beliefs) == 256
+
+    def test_matches_native_wide_run(self):
+        """Lemma 2.9's composition and the native width handling agree."""
+        instance = AllToAllInstance.random(16, width=3, seed=6)
+        composed = BitPlaneComposition(DetSqrtAllToAll).run(
+            instance, CongestedClique(16, bandwidth=16))
+        native = DetSqrtAllToAll().run(
+            instance, CongestedClique(16, bandwidth=16))
+        assert np.array_equal(composed, native)

@@ -1,0 +1,73 @@
+"""Integration tests for the baselines and the E9 collapse experiment."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import AdaptiveAdversary, NullAdversary, StaticStrategy
+from repro.adversary.nonadaptive import NonAdaptiveAdversary
+from repro.adversary.nemesis import FP23MatchingNemesis
+from repro.baseline import FischerParterStyleAllToAll, NaiveAllToAll
+from repro.core import AllToAllInstance, run_protocol
+from repro.core.det_logn import DetLogAllToAll
+
+
+class TestNaive:
+    def test_fault_free(self):
+        instance = AllToAllInstance.random(32, width=2, seed=0)
+        report = run_protocol(NaiveAllToAll(), instance, NullAdversary())
+        assert report.perfect
+        assert report.rounds == 1
+
+    def test_degrades_linearly_with_alpha(self):
+        instance = AllToAllInstance.random(64, width=2, seed=1)
+        accuracies = []
+        for alpha in (1 / 64, 1 / 16, 1 / 8):
+            report = run_protocol(NaiveAllToAll(), instance,
+                                  AdaptiveAdversary(alpha, seed=2))
+            accuracies.append(report.accuracy)
+        assert accuracies[0] > accuracies[1] > accuracies[2]
+        assert accuracies[2] < 0.9
+
+
+class TestFP23Baseline:
+    def test_fault_free(self):
+        instance = AllToAllInstance.random(32, width=3, seed=3)
+        report = run_protocol(FischerParterStyleAllToAll(), instance,
+                              NullAdversary())
+        assert report.perfect
+
+    def test_survives_static_adversary(self):
+        """The classical regime [32] was designed for: a *static* bounded
+        total budget leaves a majority of relay paths clean."""
+        instance = AllToAllInstance.random(64, width=3, seed=4)
+        adversary = NonAdaptiveAdversary(1 / 64, StaticStrategy(), seed=5)
+        report = run_protocol(FischerParterStyleAllToAll(), instance,
+                              adversary)
+        assert report.accuracy >= 0.999
+
+    def test_collapses_under_matching_nemesis(self):
+        """E9: a deg(F) = 1 mobile adversary (alpha = 1/n, the weakest
+        possible) defeats the baseline outright."""
+        n = 64
+        instance = AllToAllInstance.random(n, width=4, seed=6)
+        nemesis = FP23MatchingNemesis()
+        report = run_protocol(FischerParterStyleAllToAll(), instance,
+                              nemesis, seed=7)
+        assert not report.perfect
+        wrong = report.total_entries - report.correct_entries
+        assert wrong >= len(nemesis.victim_pairs()) // 3
+
+    def test_det_logn_survives_much_more(self):
+        """The headline contrast: same instance, 3x the faulty degree (and
+        Θ(alpha n^2) total corrupted edges per round), yet perfect
+        delivery."""
+        n = 64
+        instance = AllToAllInstance.random(n, width=4, seed=6)
+        report = run_protocol(DetLogAllToAll(), instance,
+                              AdaptiveAdversary(3 / 64, seed=8),
+                              bandwidth=32)
+        assert report.perfect
+
+    def test_invalid_relays(self):
+        with pytest.raises(ValueError):
+            FischerParterStyleAllToAll(num_relays=0)

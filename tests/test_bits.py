@@ -1,0 +1,127 @@
+"""Unit tests for bit-vector helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    as_bits,
+    bits_from_int,
+    concat_bits,
+    hamming_distance,
+    int_from_bits,
+    pad_bits,
+    random_bits,
+    split_bits,
+)
+
+
+class TestBitsFromInt:
+    def test_zero(self):
+        assert np.array_equal(bits_from_int(0, 4), [0, 0, 0, 0])
+
+    def test_little_endian(self):
+        assert np.array_equal(bits_from_int(0b1101, 4), [1, 0, 1, 1])
+
+    def test_exact_width(self):
+        assert np.array_equal(bits_from_int(7, 3), [1, 1, 1])
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            bits_from_int(8, 3)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            bits_from_int(-1, 4)
+
+    def test_zero_width(self):
+        assert bits_from_int(0, 0).size == 0
+
+    @given(st.integers(min_value=0, max_value=2**40 - 1))
+    def test_round_trip(self, value):
+        assert int_from_bits(bits_from_int(value, 40)) == value
+
+
+class TestIntFromBits:
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            int_from_bits([0, 2, 1])
+
+    def test_empty(self):
+        assert int_from_bits([]) == 0
+
+
+class TestAsBits:
+    def test_rejects_two_dimensional(self):
+        with pytest.raises(ValueError):
+            as_bits(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_rejects_large_values(self):
+        with pytest.raises(ValueError):
+            as_bits([0, 1, 3])
+
+    def test_accepts_list(self):
+        out = as_bits([1, 0, 1])
+        assert out.dtype == np.uint8
+        assert np.array_equal(out, [1, 0, 1])
+
+
+class TestPadSplitConcat:
+    def test_pad(self):
+        assert np.array_equal(pad_bits(as_bits([1, 1]), 4), [1, 1, 0, 0])
+
+    def test_pad_noop(self):
+        assert np.array_equal(pad_bits(as_bits([1, 0]), 2), [1, 0])
+
+    def test_pad_too_short_raises(self):
+        with pytest.raises(ValueError):
+            pad_bits(as_bits([1, 1, 1]), 2)
+
+    def test_split_exact(self):
+        parts = split_bits(as_bits([1, 0, 1, 1]), 2)
+        assert len(parts) == 2
+        assert np.array_equal(parts[0], [1, 0])
+        assert np.array_equal(parts[1], [1, 1])
+
+    def test_split_pads_last(self):
+        parts = split_bits(as_bits([1, 1, 1]), 2)
+        assert len(parts) == 2
+        assert np.array_equal(parts[1], [1, 0])
+
+    def test_split_bad_chunk(self):
+        with pytest.raises(ValueError):
+            split_bits(as_bits([1]), 0)
+
+    def test_concat(self):
+        out = concat_bits([as_bits([1]), as_bits([0, 1])])
+        assert np.array_equal(out, [1, 0, 1])
+
+    def test_concat_empty(self):
+        assert concat_bits([]).size == 0
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=64),
+           st.integers(1, 16))
+    def test_split_concat_round_trip(self, bits, chunk):
+        arr = as_bits(bits)
+        joined = concat_bits(split_bits(arr, chunk))
+        assert np.array_equal(joined[:arr.size], arr)
+        assert not joined[arr.size:].any()
+
+
+class TestHamming:
+    def test_equal(self):
+        assert hamming_distance([1, 0, 1], [1, 0, 1]) == 0
+
+    def test_counts(self):
+        assert hamming_distance([1, 0, 1, 0], [0, 0, 1, 1]) == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance([1], [1, 0])
+
+
+def test_random_bits_shape_and_values(rng):
+    bits = random_bits(rng, 1000)
+    assert bits.size == 1000
+    assert set(np.unique(bits)) <= {0, 1}
+    assert 300 < bits.sum() < 700

@@ -1,0 +1,49 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "det-sqrt"
+        assert args.n == 64
+
+    def test_sweep_alphas(self):
+        args = build_parser().parse_args(
+            ["sweep", "--alphas", "0.01", "0.02"])
+        assert args.alphas == [0.01, 0.02]
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_run_det_sqrt(self, capsys):
+        status = main(["run", "--protocol", "det-sqrt", "--n", "16",
+                       "--alpha", "0.0625", "--bandwidth", "16"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "accuracy=256/256" in out
+
+    def test_run_with_phases(self, capsys):
+        status = main(["run", "--protocol", "det-sqrt", "--n", "16",
+                       "--alpha", "0", "--bandwidth", "16", "--phases"])
+        assert status == 0
+        assert "TOTAL" in capsys.readouterr().out
+
+    def test_sweep_reports_unsupported(self, capsys):
+        status = main(["sweep", "--protocol", "det-logn", "--n", "16",
+                       "--alphas", "0.0625", "0.4", "--bandwidth", "16"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "unsupported" in out
+
+    def test_consensus(self, capsys):
+        status = main(["consensus", "--protocol", "det-sqrt", "--n", "16",
+                       "--alpha", "0.0625", "--bandwidth", "16"])
+        assert status == 0
+        assert "agreement=True" in capsys.readouterr().out

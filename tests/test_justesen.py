@@ -1,0 +1,148 @@
+"""Unit + property tests for the Justesen-like concatenated code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.interfaces import DecodingFailure
+from repro.coding.justesen import (
+    ConcatenatedCode,
+    PaddedCode,
+    justesen_message_capacity,
+    make_justesen_code,
+)
+from repro.coding.linear import extended_hamming_8_4
+from repro.coding.reed_solomon import ReedSolomonCodec
+from repro.fields.gf2m import GF2m
+
+
+@pytest.fixture
+def code():
+    outer = ReedSolomonCodec(GF2m(4), n=12, k=4)
+    return ConcatenatedCode(outer, extended_hamming_8_4())
+
+
+class TestConcatenated:
+    def test_dimensions(self, code):
+        assert code.k == 16 and code.n == 96
+
+    def test_inner_symbol_size_mismatch_raises(self):
+        outer = ReedSolomonCodec(GF2m(8), n=20, k=8)
+        with pytest.raises(ValueError):
+            ConcatenatedCode(outer, extended_hamming_8_4())
+
+    def test_round_trip_clean(self, code, rng):
+        msg = rng.integers(0, 2, code.k).astype(np.uint8)
+        assert np.array_equal(code.decode(code.encode(msg)), msg)
+
+    def test_guaranteed_budget(self, code, rng):
+        budget = code.guaranteed_correctable_bits()
+        assert budget == (code.outer.t + 1) * 2 - 1
+        msg = rng.integers(0, 2, code.k).astype(np.uint8)
+        word = code.encode(msg)
+        for trial in range(20):
+            noisy = word.copy()
+            flips = rng.choice(code.n, budget, replace=False)
+            noisy[flips] ^= 1
+            assert np.array_equal(code.decode(noisy), msg)
+
+    def test_adversarial_concentrated_errors(self, code, rng):
+        """Concentrating flips inside single inner blocks (the worst case
+        for block decoding) must still be within the guarantee."""
+        msg = rng.integers(0, 2, code.k).astype(np.uint8)
+        word = code.encode(msg)
+        noisy = word.copy()
+        # destroy t_outer whole blocks: still decodable
+        for block in range(code.outer.t):
+            noisy[block * 8:(block + 1) * 8] ^= 1
+        assert np.array_equal(code.decode(noisy), msg)
+
+    def test_contract_relative_distance(self, code):
+        radius = code.guaranteed_correctable_bits()
+        assert radius + 1 > code.relative_distance * code.n / 2 - 1e-9
+
+    def test_batched_paths_match_scalar(self, code, rng):
+        msgs = rng.integers(0, 2, size=(25, code.k)).astype(np.uint8)
+        words = code.encode_many(msgs)
+        for i in range(25):
+            assert np.array_equal(words[i], code.encode(msgs[i]))
+        noisy = words.copy()
+        budget = code.guaranteed_correctable_bits()
+        for i in range(25):
+            flips = rng.choice(code.n, budget, replace=False)
+            noisy[i, flips] ^= 1
+        decoded, failed = code.decode_many_flagged(noisy)
+        assert not failed.any()
+        assert np.array_equal(decoded, msgs)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_instances(self, seed):
+        outer = ReedSolomonCodec(GF2m(4), n=12, k=4)
+        code = ConcatenatedCode(outer, extended_hamming_8_4())
+        rng = np.random.default_rng(seed)
+        msg = rng.integers(0, 2, code.k).astype(np.uint8)
+        word = code.encode(msg)
+        budget = code.guaranteed_correctable_bits()
+        errors = int(rng.integers(0, budget + 1))
+        noisy = word.copy()
+        if errors:
+            noisy[rng.choice(code.n, errors, replace=False)] ^= 1
+        assert np.array_equal(code.decode(noisy), msg)
+
+
+class TestPadded:
+    def test_padding_round_trip(self, code, rng):
+        padded = PaddedCode(code, 128)
+        msg = rng.integers(0, 2, padded.k).astype(np.uint8)
+        word = padded.encode(msg)
+        assert word.size == 128
+        assert not word[code.n:].any()
+        # corruption on pad positions is harmless
+        noisy = word.copy()
+        noisy[code.n:] ^= 1
+        assert np.array_equal(padded.decode(noisy), msg)
+
+    def test_pad_shorter_raises(self, code):
+        with pytest.raises(ValueError):
+            PaddedCode(code, code.n - 1)
+
+    def test_batched(self, code, rng):
+        padded = PaddedCode(code, 128)
+        msgs = rng.integers(0, 2, size=(8, padded.k)).astype(np.uint8)
+        words = padded.encode_many(msgs)
+        assert words.shape == (8, 128)
+        decoded, failed = padded.decode_many_flagged(words)
+        assert not failed.any()
+        assert np.array_equal(decoded, msgs)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("n_bits", [32, 64, 96, 120, 128, 256, 512])
+    def test_exact_length(self, n_bits):
+        code = make_justesen_code(n_bits, 0.25)
+        assert code.n == n_bits
+        assert code.k >= 1
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            make_justesen_code(16, 0.25)
+
+    def test_capacity_helper(self):
+        assert justesen_message_capacity(64, 0.25) == \
+            make_justesen_code(64, 0.25).k
+
+    def test_factory_cached(self):
+        assert make_justesen_code(64, 0.25) is make_justesen_code(64, 0.25)
+
+    @pytest.mark.parametrize("n_bits,rate", [(64, 0.25), (256, 0.125)])
+    def test_factory_code_corrects(self, n_bits, rate, rng):
+        code = make_justesen_code(n_bits, rate)
+        base = getattr(code, "base", code)
+        budget = base.guaranteed_correctable_bits()
+        assert budget >= 1
+        msg = rng.integers(0, 2, code.k).astype(np.uint8)
+        word = code.encode(msg)
+        noisy = word.copy()
+        noisy[rng.choice(base.n, budget, replace=False)] ^= 1
+        assert np.array_equal(code.decode(noisy), msg)

@@ -1,0 +1,203 @@
+"""Unit + property tests for locally decodable codes (Hadamard, Reed–Muller)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.hadamard import HadamardLDC
+from repro.coding.ldc_interfaces import LocalDecodingFailure
+from repro.coding.reed_muller import ReedMullerLDC, berlekamp_welch, poly_divmod
+from repro.fields.gfp import PrimeField
+
+
+class TestHadamard:
+    def test_parameters(self):
+        ldc = HadamardLDC(6)
+        assert ldc.n == 64 and ldc.k == 6 and ldc.query_count == 2
+
+    def test_rejects_large_k(self):
+        with pytest.raises(ValueError):
+            HadamardLDC(20)
+
+    def test_encode_linear(self, rng):
+        ldc = HadamardLDC(5)
+        a = rng.integers(0, 2, 5)
+        b = rng.integers(0, 2, 5)
+        assert np.array_equal(
+            (ldc.encode(a) + ldc.encode(b)) % 2, ldc.encode((a + b) % 2))
+
+    def test_clean_local_decode(self, rng):
+        ldc = HadamardLDC(8)
+        msg = rng.integers(0, 2, 8)
+        word = ldc.encode(msg)
+        for i in range(8):
+            for seed in range(5):
+                assert ldc.local_decode_from_word(i, word, seed) == msg[i]
+
+    def test_decode_under_corruption(self, rng):
+        ldc = HadamardLDC(8)
+        msg = rng.integers(0, 2, 8)
+        word = ldc.encode(msg)
+        corrupted = word.copy()
+        positions = rng.choice(ldc.n, ldc.n // 20, replace=False)  # 5%
+        corrupted[positions] ^= 1
+        hits = sum(ldc.local_decode_from_word(0, corrupted, seed) == msg[0]
+                   for seed in range(100))
+        assert hits >= 80  # expected failure rate <= 2 * 5%
+
+    def test_non_adaptive_queries(self):
+        ldc = HadamardLDC(6)
+        a = ldc.decode_indices(3, seed=42)
+        b = ldc.decode_indices(3, seed=42)
+        assert np.array_equal(a, b)
+        assert a[0] ^ a[1] == 1 << 3
+
+
+class TestPolyDivmod:
+    def test_exact_division(self):
+        field = PrimeField(13)
+        # (x + 2)(x + 3) = x^2 + 5x + 6
+        quotient, remainder = poly_divmod(
+            field, np.array([6, 5, 1]), np.array([2, 1]))
+        assert np.array_equal(quotient % 13, [3, 1])
+        assert not (remainder % 13).any()
+
+    def test_division_by_zero_raises(self):
+        field = PrimeField(13)
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod(field, np.array([1, 2]), np.array([0]))
+
+
+class TestBerlekampWelch:
+    def test_clean_recovery(self, rng):
+        field = PrimeField(17)
+        coeffs = rng.integers(0, 17, 4)
+        xs = np.arange(1, 17)
+        ys = field.poly_eval(coeffs, xs)
+        out = berlekamp_welch(field, xs, ys, degree=3)
+        assert np.array_equal(out % 17, coeffs % 17)
+
+    def test_recovery_with_errors(self, rng):
+        field = PrimeField(17)
+        coeffs = rng.integers(0, 17, 4)
+        xs = np.arange(1, 17)
+        ys = field.poly_eval(coeffs, xs).copy()
+        max_errors = (16 - 3 - 1) // 2  # = 6
+        bad = rng.choice(16, max_errors, replace=False)
+        ys[bad] = (ys[bad] + 1 + rng.integers(0, 15, max_errors)) % 17
+        out = berlekamp_welch(field, xs, ys, degree=3)
+        assert np.array_equal(out % 17, coeffs % 17)
+
+    def test_too_few_points_raises(self):
+        field = PrimeField(17)
+        with pytest.raises(ValueError):
+            berlekamp_welch(field, np.array([1, 2]), np.array([3, 4]),
+                            degree=5)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(0, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_instances(self, seed, errors):
+        field = PrimeField(17)
+        rng = np.random.default_rng(seed)
+        coeffs = rng.integers(0, 17, 4)
+        xs = np.arange(1, 17)
+        ys = field.poly_eval(coeffs, xs).copy()
+        if errors:
+            bad = rng.choice(16, errors, replace=False)
+            ys[bad] = (ys[bad] + 1 + rng.integers(0, 15, errors)) % 17
+        out = berlekamp_welch(field, xs, ys, degree=3)
+        assert np.array_equal(out % 17, coeffs % 17)
+
+
+@pytest.fixture
+def rm():
+    return ReedMullerLDC(p=13, m=2, degree=4)
+
+
+class TestReedMuller:
+    def test_parameters(self, rm):
+        assert rm.n == 169
+        assert rm.k == 15  # C(2 + 4, 2)
+        assert rm.query_count == 12
+        assert rm.relative_distance == pytest.approx(1 - 4 / 13)
+
+    def test_rejects_large_degree(self):
+        with pytest.raises(ValueError):
+            ReedMullerLDC(p=7, m=2, degree=6)
+
+    def test_systematic(self, rm, rng):
+        msg = rng.integers(0, 13, rm.k)
+        word = rm.encode(msg)
+        assert np.array_equal(word[rm.systematic_positions()], msg)
+
+    def test_clean_local_decode_all(self, rm, rng):
+        msg = rng.integers(0, 13, rm.k)
+        word = rm.encode(msg)
+        assert np.array_equal(rm.decode_all(word, seed=3), msg)
+
+    def test_local_decode_under_corruption(self, rm, rng):
+        msg = rng.integers(0, 13, rm.k)
+        word = rm.encode(msg).copy()
+        n_err = rm.max_line_errors()  # per-line budget; global random errs
+        positions = rng.choice(rm.n, int(0.05 * rm.n), replace=False)
+        word[positions] = (word[positions] + 1) % 13
+        hits = sum(rm.local_decode_from_word(i, word, seed=9) == msg[i]
+                   for i in range(rm.k))
+        assert hits >= rm.k - 1
+        assert n_err == (12 - 4 - 1) // 2
+
+    def test_non_adaptive_queries(self, rm):
+        a = rm.decode_indices(5, seed=11)
+        b = rm.decode_indices(5, seed=11)
+        assert np.array_equal(a, b)
+        assert len(set(a.tolist())) == rm.query_count  # distinct line points
+
+    def test_queries_depend_only_on_index_and_seed(self, rm):
+        # different indices (generically) give different lines
+        a = rm.decode_indices(1, seed=4)
+        c = rm.decode_indices(2, seed=4)
+        assert not np.array_equal(a, c)
+
+    def test_local_decode_many_matches_scalar(self, rm, rng):
+        msg = rng.integers(0, 13, rm.k)
+        word = rm.encode(msg).copy()
+        positions = rng.choice(rm.n, 8, replace=False)
+        word[positions] = (word[positions] + 3) % 13
+        idx = 7
+        qpos = rm.decode_indices(idx, seed=21)
+        values = np.tile(word[qpos], (6, 1))
+        # corrupt some rows further
+        values[2, :3] = (values[2, :3] + 1) % 13
+        batch = rm.local_decode_many(idx, values, seed=21)
+        for row in range(6):
+            try:
+                expected = rm.local_decode(idx, values[row], seed=21)
+            except LocalDecodingFailure:
+                expected = -1
+            assert batch[row] == expected
+
+    def test_design(self):
+        code = ReedMullerLDC.design(max_codeword_symbols=200,
+                                    min_message_symbols=10)
+        assert code.n <= 200
+        assert code.k >= 10
+
+    def test_design_impossible(self):
+        with pytest.raises(ValueError):
+            ReedMullerLDC.design(max_codeword_symbols=4,
+                                 min_message_symbols=100)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_line_budget_always_decodes(self, seed):
+        rm = ReedMullerLDC(p=13, m=2, degree=4)
+        rng = np.random.default_rng(seed)
+        msg = rng.integers(0, 13, rm.k)
+        word = rm.encode(msg).copy()
+        index = int(rng.integers(0, rm.k))
+        qpos = rm.decode_indices(index, seed=seed)
+        values = word[qpos].copy()
+        budget = rm.max_line_errors()
+        bad = rng.choice(len(values), budget, replace=False)
+        values[bad] = (values[bad] + 1 + rng.integers(0, 11, budget)) % 13
+        assert rm.local_decode(index, values, seed=seed) == msg[index]

@@ -1,0 +1,114 @@
+"""Unit + property tests for short binary linear codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.linear import (
+    LinearBlockCode,
+    best_effort_linear_code,
+    extended_hamming_8_4,
+    search_linear_code,
+)
+
+
+class TestExtendedHamming:
+    def test_parameters(self):
+        code = extended_hamming_8_4()
+        assert (code.n, code.k, code.min_distance) == (8, 4, 4)
+
+    def test_round_trip_clean(self):
+        code = extended_hamming_8_4()
+        for value in range(16):
+            msg = np.array([(value >> i) & 1 for i in range(4)],
+                           dtype=np.uint8)
+            assert np.array_equal(code.decode(code.encode(msg)), msg)
+
+    def test_corrects_single_error(self):
+        code = extended_hamming_8_4()
+        msg = np.array([1, 0, 1, 1], dtype=np.uint8)
+        word = code.encode(msg)
+        for position in range(8):
+            noisy = word.copy()
+            noisy[position] ^= 1
+            assert np.array_equal(code.decode(noisy), msg)
+
+
+class TestLinearBlockCode:
+    def test_rejects_rank_deficient(self):
+        generator = np.array([[1, 0, 1], [1, 0, 1]], dtype=np.uint8)
+        with pytest.raises(ValueError):
+            LinearBlockCode(generator)
+
+    def test_rejects_large_k(self):
+        with pytest.raises(ValueError):
+            LinearBlockCode(np.eye(15, 20, dtype=np.uint8))
+
+    def test_rejects_long_codewords(self):
+        with pytest.raises(ValueError):
+            LinearBlockCode(np.eye(4, 60, dtype=np.uint8))
+
+    def test_relative_distance(self):
+        code = extended_hamming_8_4()
+        assert code.relative_distance == pytest.approx(0.5)
+
+    def test_decode_blocks_matches_scalar(self, rng):
+        code = extended_hamming_8_4()
+        msgs = rng.integers(0, 2, size=(50, 4)).astype(np.uint8)
+        words = code.encode_many(msgs)
+        noisy = words.copy()
+        flips = rng.integers(0, 8, size=50)
+        noisy[np.arange(50), flips] ^= 1
+        batch = code.decode_blocks(noisy)
+        for i in range(50):
+            assert np.array_equal(batch[i], code.decode(noisy[i]))
+
+    def test_encode_many_matches_scalar(self, rng):
+        code = extended_hamming_8_4()
+        msgs = rng.integers(0, 2, size=(20, 4)).astype(np.uint8)
+        batch = code.encode_many(msgs)
+        for i in range(20):
+            assert np.array_equal(batch[i], code.encode(msgs[i]))
+
+    def test_encode_many_empty(self):
+        code = extended_hamming_8_4()
+        assert code.encode_many(np.zeros((0, 4), dtype=np.uint8)).shape == (0, 8)
+
+    @given(st.integers(0, 15), st.integers(0, 7))
+    @settings(max_examples=40)
+    def test_single_error_always_corrected(self, value, position):
+        code = extended_hamming_8_4()
+        msg = np.array([(value >> i) & 1 for i in range(4)], dtype=np.uint8)
+        noisy = code.encode(msg)
+        noisy[position] ^= 1
+        assert np.array_equal(code.decode(noisy), msg)
+
+
+class TestSearch:
+    def test_search_finds_target(self):
+        code = search_linear_code(4, 10, 4, seed=1)
+        assert code.min_distance >= 4
+
+    def test_search_deterministic(self):
+        a = search_linear_code(4, 12, 4, seed=7)
+        b = search_linear_code(4, 12, 4, seed=7)
+        assert np.array_equal(a.generator, b.generator)
+
+    def test_search_impossible_raises(self):
+        # Singleton bound: d <= n - k + 1 = 3
+        with pytest.raises(ValueError):
+            search_linear_code(4, 6, 5, seed=0, attempts=50)
+
+    def test_best_effort_always_succeeds(self):
+        code = best_effort_linear_code(6, 14, seed=2)
+        assert code.k == 6 and code.n == 14
+        assert code.min_distance >= 2
+
+    def test_best_effort_respects_guarantee(self, rng):
+        code = best_effort_linear_code(8, 24, seed=0)
+        budget = (code.min_distance - 1) // 2
+        msg = rng.integers(0, 2, 8).astype(np.uint8)
+        noisy = code.encode(msg)
+        flip = rng.choice(24, budget, replace=False)
+        noisy[flip] ^= 1
+        assert np.array_equal(code.decode(noisy), msg)

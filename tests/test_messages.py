@@ -1,0 +1,83 @@
+"""Unit tests for AllToAllComm instances, ids and verification."""
+
+import numpy as np
+import pytest
+
+from repro.core.messages import AllToAllInstance, ProtocolReport, verify_beliefs
+from repro.core.protocol import pack_block, unpack_block
+
+
+class TestInstance:
+    def test_random_shape_and_range(self):
+        inst = AllToAllInstance.random(8, width=3, seed=1)
+        assert inst.messages.shape == (8, 8)
+        assert inst.messages.max() < 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AllToAllInstance(n=4, width=1,
+                             messages=np.full((4, 4), 2, dtype=np.int64))
+        with pytest.raises(ValueError):
+            AllToAllInstance(n=4, width=1,
+                             messages=np.zeros((3, 3), dtype=np.int64))
+
+    def test_message_id(self):
+        inst = AllToAllInstance.random(8, seed=0)
+        assert inst.message_id(3, 5) == 3 * 8 + 5
+
+    def test_element_id_encodes_payload(self):
+        inst = AllToAllInstance.random(8, width=2, seed=0)
+        element = inst.element_id(1, 2)
+        assert element >> 2 == 1 * 8 + 2
+        assert element % 4 == inst.messages[1, 2]
+
+    def test_element_universe(self):
+        inst = AllToAllInstance.random(8, width=2, seed=0)
+        assert inst.element_universe() == 8 * 8 * 4
+
+
+class TestVerification:
+    def test_counts_matches(self):
+        inst = AllToAllInstance.random(8, seed=2)
+        beliefs = inst.messages.copy()
+        assert verify_beliefs(inst, beliefs) == 64
+        beliefs[0, 0] ^= 1
+        assert verify_beliefs(inst, beliefs) == 63
+
+    def test_shape_mismatch(self):
+        inst = AllToAllInstance.random(8, seed=2)
+        with pytest.raises(ValueError):
+            verify_beliefs(inst, np.zeros((4, 4), dtype=np.int64))
+
+    def test_report_properties(self):
+        report = ProtocolReport(protocol="x", n=8, alpha=0.1, rounds=3,
+                                bits_sent=100, correct_entries=60,
+                                total_entries=64,
+                                entries_corrupted_in_transit=4)
+        assert report.accuracy == pytest.approx(60 / 64)
+        assert not report.perfect
+        assert "x" in str(report)
+
+
+class TestPacking:
+    def test_round_trip(self, rng):
+        values = rng.integers(0, 16, size=20)
+        bits = pack_block(values, 4)
+        assert bits.size == 80
+        assert np.array_equal(unpack_block(bits, 20, 4), values)
+
+    def test_matrix_row_major_order(self):
+        values = np.array([[1, 2], [3, 0]])
+        bits = pack_block(values, 2)
+        assert np.array_equal(unpack_block(bits, 4, 2), [1, 2, 3, 0])
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            pack_block(np.array([4]), 2)
+
+    def test_unpack_length_check(self):
+        with pytest.raises(ValueError):
+            unpack_block(np.zeros(7, dtype=np.uint8), 2, 4)
+
+    def test_empty(self):
+        assert pack_block(np.zeros(0, dtype=np.int64), 3).size == 0

@@ -1,0 +1,63 @@
+"""Unit tests for the protocol-aware nemesis adversary."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.base import RoundView
+from repro.adversary.budget import fault_degrees, validate_fault_set
+from repro.adversary.nemesis import FP23MatchingNemesis
+
+
+def view(n, label, width=4):
+    return RoundView(index=0, width=width,
+                     intended=np.ones((n, n), dtype=np.int64),
+                     history=[], label=label)
+
+
+class TestFP23Nemesis:
+    def test_budget_is_one_per_node(self):
+        nemesis = FP23MatchingNemesis()
+        nemesis.begin_protocol(64)
+        assert nemesis.alpha == pytest.approx(1 / 64)
+        assert nemesis.budget == 1
+
+    @pytest.mark.parametrize("label", [
+        "fp23/direct", "fp23/hop2-0", "fp23/hop2-3", "fp23/hop2-4[chunk1]",
+    ])
+    def test_fault_sets_are_matchings(self, label):
+        nemesis = FP23MatchingNemesis()
+        nemesis.begin_protocol(64)
+        mask = nemesis.select_edges(view(64, label))
+        validate_fault_set(mask, 64, nemesis.alpha)
+        assert fault_degrees(mask).max() <= 1
+        assert mask.any()
+
+    def test_silent_on_hop1(self):
+        """Corrupting both hops would cancel the flip; the nemesis only
+        touches the final hop."""
+        nemesis = FP23MatchingNemesis()
+        nemesis.begin_protocol(64)
+        mask = nemesis.select_edges(view(64, "fp23/hop1-2"))
+        assert not mask.any()
+
+    def test_silent_on_unrelated_rounds(self):
+        nemesis = FP23MatchingNemesis()
+        nemesis.begin_protocol(64)
+        mask = nemesis.select_edges(view(64, "det-sqrt/step1"))
+        assert not mask.any()
+
+    def test_direct_round_hits_victims(self):
+        nemesis = FP23MatchingNemesis()
+        nemesis.begin_protocol(64)
+        mask = nemesis.select_edges(view(64, "fp23/direct"))
+        hits = sum(mask[u, v] for u, v in nemesis.victim_pairs())
+        assert hits == len(nemesis.victim_pairs())
+
+    def test_mobility(self):
+        """Different rounds corrupt different edge sets — the nemesis is a
+        genuinely mobile adversary."""
+        nemesis = FP23MatchingNemesis()
+        nemesis.begin_protocol(64)
+        a = nemesis.select_edges(view(64, "fp23/hop2-0"))
+        b = nemesis.select_edges(view(64, "fp23/hop2-1"))
+        assert not np.array_equal(a, b)

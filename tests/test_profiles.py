@@ -1,0 +1,105 @@
+"""Unit tests for protocol profiles and the paper's arithmetic."""
+
+import pytest
+
+from repro.core.profiles import (
+    PAPER,
+    ProfileError,
+    ProtocolProfile,
+    SIMULATION,
+    paper_alpha_bound,
+)
+
+
+class TestPaperArithmetic:
+    """The concrete inequalities of Section 4.2 with the published
+    constants, verified numerically."""
+
+    def test_lemma_4_5a(self):
+        # (16/delta) * alpha * k + 2*delta < delta_C / 2 with delta = 1/50,
+        # alpha = 1/(8*10^4), k = floor(1/(8*10^4 alpha)) = 1, and the
+        # Justesen distance delta_C *strictly greater* than 1/10 (Lemma 2.1)
+        alpha = paper_alpha_bound()
+        k = int(1 / (8 * 10 ** 4 * alpha))
+        assert k == 1
+        assert PAPER.paper_inequality_holds(alpha, k, code_distance=0.1001)
+
+    def test_lemma_4_5a_numbers(self):
+        # the paper computes (16/δ)αk + 2δ <= 1/100 + 1/25 = 1/20 < δ_C/2,
+        # which holds because δ_C > 1/10 strictly
+        delta = 1 / 50
+        alpha_k = 1 / (8 * 10 ** 4)
+        value = (16 / delta) * alpha_k + 2 * delta
+        assert value == pytest.approx(1 / 100 + 1 / 25)
+        assert value <= (1 / 10) / 2
+        assert value < 0.1001 / 2
+
+    def test_violated_for_large_alpha(self):
+        assert not PAPER.paper_inequality_holds(0.01, 4, code_distance=1 / 10)
+
+    def test_paper_set_size_formula(self):
+        # L = floor(delta * n / 4k)
+        assert PAPER.paper_set_size(10 ** 6, 1) == 5000
+        assert PAPER.paper_set_size(10 ** 6, 100) == 50
+
+    def test_paper_set_size_degenerate_at_simulation_scale(self):
+        """The reason the simulation profile exists: at n = 256 the paper's
+        constants give 1-bit codewords."""
+        assert PAPER.paper_set_size(256, 1) <= 2
+
+
+class TestSelectRoutingCode:
+    def test_small_alpha_small_codeword(self):
+        length, code = SIMULATION.select_routing_code(256, 1 / 256)
+        assert length <= 64
+        assert code.max_correctable_errors() >= 2
+
+    def test_larger_alpha_larger_codeword(self):
+        small, _ = SIMULATION.select_routing_code(256, 1 / 256)
+        large, _ = SIMULATION.select_routing_code(256, 1 / 32)
+        assert large >= small
+
+    def test_budget_actually_covered(self):
+        for alpha in (1 / 128, 1 / 64, 1 / 32):
+            length, code = SIMULATION.select_routing_code(128, alpha)
+            assert code.max_correctable_errors() >= \
+                2 * int(alpha * 128) + SIMULATION.safety_errors
+
+    def test_impossible_alpha_raises(self):
+        with pytest.raises(ProfileError):
+            SIMULATION.select_routing_code(64, 0.25)
+
+    def test_choose_codeword_length_consistency(self):
+        assert SIMULATION.choose_codeword_length(128, 1 / 64) == \
+            SIMULATION.select_routing_code(128, 1 / 64)[0]
+
+
+class TestCheckRouting:
+    def test_accepts_safe_configuration(self):
+        length, _ = SIMULATION.select_routing_code(128, 1 / 64)
+        SIMULATION.check_routing(128, 1 / 64, length, overlap=0.0)
+
+    def test_rejects_overlap_blowup(self):
+        length, _ = SIMULATION.select_routing_code(128, 1 / 64)
+        with pytest.raises(ProfileError):
+            SIMULATION.check_routing(128, 1 / 64, length, overlap=0.4)
+
+    def test_rejects_alpha_blowup(self):
+        with pytest.raises(ProfileError):
+            SIMULATION.check_routing(128, 0.3, 64, overlap=0.0)
+
+
+class TestRoutingCodes:
+    def test_small_codeword_fallback_is_linear(self):
+        code = SIMULATION.routing_code(16)
+        assert code.n == 16
+        assert code.k >= 1
+
+    def test_concat_for_large(self):
+        code = SIMULATION.routing_code(128)
+        assert code.n == 128
+
+    def test_custom_profile(self):
+        profile = ProtocolProfile(name="custom", delta=0.1, code_rate=0.125)
+        length, code = profile.select_routing_code(256, 1 / 64)
+        assert code.max_correctable_errors() >= 8

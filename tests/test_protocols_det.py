@@ -1,0 +1,105 @@
+"""Integration tests: the two deterministic AllToAllComm protocols
+(Theorems 1.4 and 1.5) under the full adversary gallery."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    AdaptiveAdversary,
+    BlockStrategy,
+    NonAdaptiveAdversary,
+    NullAdversary,
+    RoundRobinMatchingStrategy,
+    SlidingWindowAdversary,
+    TargetedAdaptiveAdversary,
+)
+from repro.core import AllToAllInstance, run_protocol
+from repro.core.det_logn import DetLogAllToAll
+from repro.core.det_sqrt import DetSqrtAllToAll
+
+ADVERSARIES = [
+    ("none", lambda n: NullAdversary()),
+    ("adaptive-flip", lambda n: AdaptiveAdversary(1 / 32, seed=1)),
+    ("adaptive-drop", lambda n: AdaptiveAdversary(1 / 32,
+                                                  content_attack="drop",
+                                                  seed=2)),
+    ("matching", lambda n: NonAdaptiveAdversary(
+        1 / n, RoundRobinMatchingStrategy(), seed=3)),
+    ("blocks", lambda n: NonAdaptiveAdversary(1 / 32, BlockStrategy(),
+                                              seed=4)),
+    ("targeted", lambda n: TargetedAdaptiveAdversary(1 / 32, victims=[0, 1],
+                                                     seed=5)),
+    ("sliding", lambda n: SlidingWindowAdversary(1 / 32, seed=6)),
+]
+
+
+class TestDetSqrt:
+    @pytest.mark.parametrize("label,factory", ADVERSARIES)
+    def test_perfect_delivery(self, label, factory):
+        n = 64
+        instance = AllToAllInstance.random(n, width=1, seed=42)
+        report = run_protocol(DetSqrtAllToAll(), instance, factory(n),
+                              bandwidth=16, seed=0)
+        assert report.perfect, f"det-sqrt failed under {label}"
+
+    def test_requires_perfect_square(self):
+        instance = AllToAllInstance.random(32, seed=0)
+        with pytest.raises(ValueError):
+            run_protocol(DetSqrtAllToAll(), instance)
+
+    def test_wide_messages(self):
+        instance = AllToAllInstance.random(16, width=4, seed=7)
+        report = run_protocol(DetSqrtAllToAll(), instance,
+                              AdaptiveAdversary(1 / 16, seed=8),
+                              bandwidth=16)
+        assert report.perfect
+
+    def test_constant_round_structure(self):
+        """Rounds do not grow with n at fixed bandwidth and alpha * sqrt(n)
+        (the Theorem 1.5 shape)."""
+        rounds = {}
+        for n in (16, 64):
+            instance = AllToAllInstance.random(n, width=1, seed=1)
+            report = run_protocol(DetSqrtAllToAll(), instance,
+                                  NullAdversary(), bandwidth=32)
+            rounds[n] = report.rounds
+        assert rounds[64] <= 4 * rounds[16]
+
+
+class TestDetLog:
+    @pytest.mark.parametrize("label,factory", ADVERSARIES)
+    def test_perfect_delivery(self, label, factory):
+        n = 64
+        instance = AllToAllInstance.random(n, width=1, seed=43)
+        report = run_protocol(DetLogAllToAll(), instance, factory(n),
+                              bandwidth=16, seed=0)
+        assert report.perfect, f"det-logn failed under {label}"
+
+    def test_requires_power_of_two(self):
+        instance = AllToAllInstance.random(24, seed=0)
+        with pytest.raises(ValueError):
+            run_protocol(DetLogAllToAll(), instance)
+
+    def test_lemma_6_2_invariant_trace(self):
+        """After iteration i: sources double, targets halve (Lemma 6.2)."""
+        n = 32
+        protocol = DetLogAllToAll()
+        instance = AllToAllInstance.random(n, width=1, seed=3)
+        run_protocol(protocol, instance, NullAdversary(), bandwidth=16)
+        for i, record in enumerate(protocol.trace, start=1):
+            assert record["sources_per_node"] == 2 ** i
+            assert record["targets_per_node"] == n // 2 ** i
+
+    def test_logarithmic_iteration_count(self):
+        for n in (16, 64):
+            protocol = DetLogAllToAll()
+            instance = AllToAllInstance.random(n, width=1, seed=4)
+            run_protocol(protocol, instance, NullAdversary(), bandwidth=16)
+            assert len(protocol.trace) == n.bit_length() - 1
+
+    def test_wide_messages(self):
+        instance = AllToAllInstance.random(16, width=3, seed=9)
+        report = run_protocol(DetLogAllToAll(), instance,
+                              AdaptiveAdversary(1 / 16, seed=10),
+                              bandwidth=16)
+        assert report.perfect

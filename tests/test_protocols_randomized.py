@@ -1,0 +1,108 @@
+"""Integration tests for the randomized protocols (Theorems 1.2 and 1.3).
+
+The adaptive compiler is the heaviest pipeline in the library, so its
+end-to-end cases are marked slow-ish but kept at n = 32/64 to stay in CI
+budgets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    AdaptiveAdversary,
+    NonAdaptiveAdversary,
+    NullAdversary,
+    RoundRobinMatchingStrategy,
+)
+from repro.core import AllToAllInstance, run_protocol
+from repro.core.adaptive import (
+    AdaptiveAllToAll,
+    AdaptiveParameters,
+    design_ldc_for_sketch,
+)
+from repro.core.nonadaptive import NonAdaptiveAllToAll
+from repro.core.profiles import ProfileError
+
+
+class TestNonAdaptive:
+    def test_fault_free(self):
+        instance = AllToAllInstance.random(32, width=1, seed=0)
+        report = run_protocol(NonAdaptiveAllToAll(), instance,
+                              NullAdversary(), bandwidth=32)
+        assert report.perfect
+
+    @pytest.mark.parametrize("factory", [
+        lambda: NonAdaptiveAdversary(1 / 32, seed=1),
+        lambda: NonAdaptiveAdversary(1 / 32, RoundRobinMatchingStrategy(),
+                                     seed=2),
+        lambda: NonAdaptiveAdversary(1 / 32, content_attack="drop", seed=3),
+    ])
+    def test_perfect_under_nbd(self, factory):
+        instance = AllToAllInstance.random(64, width=1, seed=4)
+        report = run_protocol(NonAdaptiveAllToAll(), instance, factory(),
+                              bandwidth=32)
+        assert report.perfect
+
+    def test_wide_messages(self):
+        instance = AllToAllInstance.random(32, width=4, seed=5)
+        report = run_protocol(NonAdaptiveAllToAll(), instance,
+                              NonAdaptiveAdversary(1 / 32, seed=6),
+                              bandwidth=32)
+        assert report.perfect
+
+    def test_deterministic_given_seed(self):
+        instance = AllToAllInstance.random(32, width=1, seed=7)
+        a = run_protocol(NonAdaptiveAllToAll(), instance,
+                         NonAdaptiveAdversary(1 / 32, seed=8), seed=9)
+        b = run_protocol(NonAdaptiveAllToAll(), instance,
+                         NonAdaptiveAdversary(1 / 32, seed=8), seed=9)
+        assert a.correct_entries == b.correct_entries
+        assert a.rounds == b.rounds
+
+
+class TestLdcDesigner:
+    def test_margin_enforced(self):
+        params = AdaptiveParameters(min_line_margin=3)
+        ldc = design_ldc_for_sketch(200, 64, 1 / 32, params)
+        assert (ldc.query_count - ldc.degree - 1) // 2 >= 3
+
+    def test_impossible_sketch_raises(self):
+        params = AdaptiveParameters(max_codeword_factor=2)
+        with pytest.raises(ProfileError):
+            design_ldc_for_sketch(10 ** 6, 64, 1 / 32, params)
+
+    def test_capacity_bound(self):
+        params = AdaptiveParameters()
+        ldc = design_ldc_for_sketch(300, 128, 1 / 64, params)
+        bits = (ldc.p - 1).bit_length() - 1
+        assert ldc.k * bits >= 300
+
+
+@pytest.mark.slow
+class TestAdaptive:
+    def test_fault_free_small(self):
+        instance = AllToAllInstance.random(32, width=1, seed=0)
+        protocol = AdaptiveAllToAll()
+        report = run_protocol(protocol, instance, NullAdversary(),
+                              bandwidth=32)
+        assert report.perfect
+        assert report.extra["failed_sketches"] == 0
+
+    def test_under_adaptive_adversary(self):
+        instance = AllToAllInstance.random(64, width=1, seed=1)
+        protocol = AdaptiveAllToAll()
+        report = run_protocol(protocol, instance,
+                              AdaptiveAdversary(1 / 32, seed=2),
+                              bandwidth=32)
+        # w.h.p. guarantee made empirical: overwhelming accuracy, and the
+        # sketch machinery must actively repair corrupted first copies
+        assert report.accuracy >= 0.97
+        assert report.extra["recovered"] > 0
+
+    def test_diagnostics_shape(self):
+        instance = AllToAllInstance.random(32, width=1, seed=3)
+        protocol = AdaptiveAllToAll()
+        run_protocol(protocol, instance, NullAdversary(), bandwidth=32)
+        diag = protocol.diagnostics
+        assert diag["num_parts"] * diag["part_size"] == 32
+        assert diag["ldc_query_count"] > 0

@@ -1,0 +1,90 @@
+"""Unit + integration tests for the Lemma 2.8 covering reduction."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import AdaptiveAdversary
+from repro.core.det_logn import DetLogAllToAll
+from repro.core.det_sqrt import DetSqrtAllToAll
+from repro.core.messages import AllToAllInstance
+from repro.core.reduction import (
+    admissible_subclique_size,
+    covering_subsets,
+    largest_perfect_square_at_most,
+    largest_power_of_two_at_most,
+    solve_any_n,
+)
+
+
+class TestShapes:
+    def test_power_of_two(self):
+        assert largest_power_of_two_at_most(100) == 64
+        assert largest_power_of_two_at_most(64) == 64
+
+    def test_perfect_square(self):
+        assert largest_perfect_square_at_most(50) == 49
+        assert largest_perfect_square_at_most(49) == 49
+
+    def test_admissible_within_half(self):
+        assert admissible_subclique_size(100, "power-of-two") == 64
+        assert admissible_subclique_size(50, "perfect-square") == 49
+        assert admissible_subclique_size(77, "any") == 77
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError):
+            admissible_subclique_size(64, "triangular")
+
+
+class TestCoveringSubsets:
+    def test_ten_subsets(self):
+        subsets = covering_subsets(100, 64)
+        assert len(subsets) == 10
+        assert all(s.size == 64 for s in subsets)
+
+    def test_every_pair_covered(self):
+        """The lemma's defining property: every pair of nodes shares at
+        least one subset."""
+        n = 50
+        subsets = covering_subsets(n, 30)
+        covered = np.zeros((n, n), dtype=bool)
+        for subset in subsets:
+            covered[np.ix_(subset, subset)] = True
+        assert covered.all()
+
+    def test_size_bounds(self):
+        with pytest.raises(ValueError):
+            covering_subsets(100, 30)  # below n/2
+
+
+class TestSolveAnyN:
+    @pytest.mark.parametrize("n", [48, 100])
+    def test_det_logn_on_non_power_of_two(self, n):
+        instance = AllToAllInstance.random(n, width=1, seed=1)
+        report = solve_any_n(instance, DetLogAllToAll,
+                             shape="power-of-two", bandwidth=16, seed=2)
+        assert report.executions == 10
+        assert report.perfect
+
+    def test_det_sqrt_on_non_square(self):
+        instance = AllToAllInstance.random(40, width=1, seed=3)
+        report = solve_any_n(instance, DetSqrtAllToAll,
+                             shape="perfect-square", bandwidth=16, seed=4)
+        assert report.subclique_size == 36
+        assert report.perfect
+
+    def test_under_adversary(self):
+        """The alpha/2 transfer: per-subclique adversaries at the full
+        alpha' = alpha * n / n' budget are absorbed."""
+        instance = AllToAllInstance.random(48, width=1, seed=5)
+        report = solve_any_n(
+            instance, DetLogAllToAll,
+            adversary_factory=lambda i: AdaptiveAdversary(1 / 32, seed=i),
+            shape="power-of-two", bandwidth=16, seed=6)
+        assert report.perfect
+
+    def test_exact_shape_short_circuits(self):
+        instance = AllToAllInstance.random(16, width=1, seed=7)
+        report = solve_any_n(instance, DetSqrtAllToAll,
+                             shape="perfect-square", bandwidth=16)
+        assert report.executions == 1
+        assert report.perfect

@@ -1,0 +1,56 @@
+"""Tests for the retransmission baseline and the relay-vs-repeat contrast."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    AdaptiveAdversary,
+    NonAdaptiveAdversary,
+    NullAdversary,
+    StaticStrategy,
+)
+from repro.baseline import RetransmissionAllToAll
+from repro.core import AllToAllInstance, run_protocol
+from repro.core.det_sqrt import DetSqrtAllToAll
+
+
+class TestRetransmission:
+    def test_fault_free(self):
+        instance = AllToAllInstance.random(16, width=2, seed=0)
+        report = run_protocol(RetransmissionAllToAll(3), instance,
+                              NullAdversary(), bandwidth=16)
+        assert report.perfect
+        assert report.rounds == 3
+
+    def test_beats_naive_against_mobile_random_faults(self):
+        """Each copy corrupted independently ⇒ the vote helps."""
+        instance = AllToAllInstance.random(64, width=2, seed=1)
+        single = run_protocol(RetransmissionAllToAll(1), instance,
+                              AdaptiveAdversary(1 / 16, seed=2), seed=3)
+        voted = run_protocol(RetransmissionAllToAll(7), instance,
+                             AdaptiveAdversary(1 / 16, seed=2), seed=3)
+        assert voted.accuracy > single.accuracy
+
+    def test_fails_against_persistent_faults(self):
+        """A static fault set (legal for the mobile adversary) defeats any
+        repetition count — the reason the paper relays through node sets."""
+        instance = AllToAllInstance.random(64, width=2, seed=4)
+        adversary = NonAdaptiveAdversary(1 / 16, StaticStrategy(),
+                                         content_attack="flip", seed=5)
+        report = run_protocol(RetransmissionAllToAll(9), instance,
+                              adversary, seed=6)
+        assert not report.perfect
+        # roughly the static fault set's coverage stays wrong
+        assert report.accuracy < 0.99
+
+    def test_relays_survive_the_same_persistent_faults(self):
+        instance = AllToAllInstance.random(64, width=2, seed=4)
+        adversary = NonAdaptiveAdversary(1 / 32, StaticStrategy(),
+                                         content_attack="flip", seed=5)
+        report = run_protocol(DetSqrtAllToAll(), instance, adversary,
+                              bandwidth=16, seed=6)
+        assert report.perfect
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            RetransmissionAllToAll(0)

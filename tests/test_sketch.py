@@ -1,0 +1,209 @@
+"""Unit + property tests for sparse-recovery sketches (Lemma 2.3 / 2.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketch.ksparse import KSparseSketch, SketchRecoveryError, SketchSpec
+from repro.sketch.onesparse import OneSparseCell
+
+
+class TestOneSparseCell:
+    def test_single_item(self):
+        cell = OneSparseCell(z=12345)
+        cell.add(42, 3)
+        assert cell.recover(max_id=100) == (42, 3)
+
+    def test_zero_after_cancellation(self):
+        cell = OneSparseCell(z=12345)
+        cell.add(42, 1)
+        cell.add(42, -1)
+        assert cell.is_zero()
+        assert cell.recover(max_id=100) is None
+
+    def test_negative_frequency(self):
+        cell = OneSparseCell(z=999)
+        cell.add(7, -2)
+        assert cell.recover(max_id=10) == (7, -2)
+
+    def test_two_items_rejected(self):
+        cell = OneSparseCell(z=31337)
+        cell.add(3, 1)
+        cell.add(9, 1)
+        # id_sum / count = 6, in range — the fingerprint must catch it
+        assert cell.recover(max_id=100) is None
+
+    def test_out_of_range_rejected(self):
+        cell = OneSparseCell(z=7)
+        cell.add(50, 1)
+        assert cell.recover(max_id=10) is None
+
+    def test_negative_id_raises(self):
+        cell = OneSparseCell(z=7)
+        with pytest.raises(ValueError):
+            cell.add(-1, 1)
+
+    def test_merge(self):
+        a = OneSparseCell(z=555)
+        b = OneSparseCell(z=555)
+        a.add(4, 1)
+        b.add(4, 2)
+        a.merge(b)
+        assert a.recover(max_id=10) == (4, 3)
+
+    def test_merge_randomness_mismatch_raises(self):
+        a = OneSparseCell(z=1)
+        b = OneSparseCell(z=2)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+@pytest.fixture
+def spec():
+    return SketchSpec(capacity=4, max_id=10_000, max_abs_count=64)
+
+
+class TestKSparseSketch:
+    def test_empty_recovers_empty(self, spec):
+        sketch = KSparseSketch(spec, seed=1)
+        assert sketch.recover() == {}
+
+    def test_recover_small_support(self, spec):
+        sketch = KSparseSketch(spec, seed=1)
+        truth = {17: 1, 403: 2, 9999: -1}
+        for element, frequency in truth.items():
+            sketch.add(element, frequency)
+        assert sketch.recover() == truth
+
+    def test_cancellation(self, spec):
+        sketch = KSparseSketch(spec, seed=2)
+        for element in range(200):
+            sketch.add(element, 1)
+        for element in range(200):
+            sketch.add(element, -1)
+        assert sketch.recover() == {}
+
+    def test_recover_is_nondestructive(self, spec):
+        sketch = KSparseSketch(spec, seed=3)
+        sketch.add(5, 1)
+        assert sketch.recover() == {5: 1}
+        assert sketch.recover() == {5: 1}
+
+    def test_out_of_universe_raises(self, spec):
+        sketch = KSparseSketch(spec, seed=1)
+        with pytest.raises(ValueError):
+            sketch.add(spec.max_id + 1, 1)
+
+    def test_oversupport_raises(self, spec):
+        sketch = KSparseSketch(spec, seed=4)
+        # support far beyond capacity*buckets cannot peel
+        for element in range(0, 4000, 7):
+            sketch.add(element, 1)
+        with pytest.raises(SketchRecoveryError):
+            sketch.recover()
+
+    def test_merge(self, spec):
+        a = KSparseSketch(spec, seed=5)
+        b = KSparseSketch(spec, seed=5)
+        a.add(10, 1)
+        b.add(20, 1)
+        a.merge(b)
+        assert a.recover() == {10: 1, 20: 1}
+
+    def test_merge_mismatched_seed_raises(self, spec):
+        a = KSparseSketch(spec, seed=5)
+        b = KSparseSketch(spec, seed=6)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    @given(st.dictionaries(st.integers(0, 10_000),
+                           st.integers(-3, 3).filter(lambda f: f != 0),
+                           min_size=0, max_size=4),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_property_round_trip(self, truth, seed):
+        """Lemma 2.3's guarantee is probabilistic over the randomness R
+        (1 - 1/poly): recovery may stall on an unlucky R (all rows
+        colliding), but must succeed under fresh randomness."""
+        spec = SketchSpec(capacity=4, max_id=10_000, max_abs_count=64)
+        for attempt in range(3):
+            sketch = KSparseSketch(spec, seed=seed + attempt)
+            for element, frequency in truth.items():
+                sketch.add(element, frequency)
+            try:
+                assert sketch.recover() == truth
+                return
+            except SketchRecoveryError:
+                continue  # unlucky R; the guarantee permits retrying
+        pytest.fail("recovery failed under three independent seeds")
+
+
+class TestSerialisation:
+    def test_fixed_width(self, spec):
+        a = KSparseSketch(spec, seed=7)
+        a.add(12, 1)
+        assert a.to_bits().size == spec.total_bits
+
+    def test_round_trip(self, spec):
+        a = KSparseSketch(spec, seed=8)
+        a.add(12, 3)
+        a.add(4242, -2)
+        b = KSparseSketch.from_bits(spec, 8, a.to_bits())
+        assert b.recover() == {12: 3, 4242: -2}
+
+    def test_wrong_length_raises(self, spec):
+        with pytest.raises(ValueError):
+            KSparseSketch.from_bits(spec, 8,
+                                    np.zeros(spec.total_bits - 1,
+                                             dtype=np.uint8))
+
+    def test_overflow_raises(self):
+        spec = SketchSpec(capacity=2, max_id=100, max_abs_count=2)
+        sketch = KSparseSketch(spec, seed=9)
+        for _ in range(5):
+            sketch.add(1, 1)
+        with pytest.raises(ValueError):
+            sketch.to_bits()
+
+
+class TestLemma24Subtraction:
+    """The correction mechanism of Lemma 2.4 / Lemma B.1: insert the true
+    messages with +1, subtract the received ones with -1; survivors are
+    exactly the corrupted messages and their corrections."""
+
+    def test_identifies_corruptions(self):
+        n, width = 32, 1
+        spec = SketchSpec(capacity=6, max_id=n * n * 2 - 1, max_abs_count=2 * n)
+        rng = np.random.default_rng(0)
+        true_msgs = rng.integers(0, 2, n)
+        received = true_msgs.copy()
+        corrupted_at = [3, 17, 29]
+        for u in corrupted_at:
+            received[u] ^= 1
+
+        v = 5
+        sketch = KSparseSketch(spec, seed=42)
+        for u in range(n):
+            sketch.add((u * n + v) * 2 + int(true_msgs[u]), 1)
+        for u in range(n):
+            sketch.add((u * n + v) * 2 + int(received[u]), -1)
+
+        survivors = sketch.recover()
+        plus = {e for e, f in survivors.items() if f == 1}
+        minus = {e for e, f in survivors.items() if f == -1}
+        assert plus == {(u * n + v) * 2 + int(true_msgs[u])
+                        for u in corrupted_at}
+        assert minus == {(u * n + v) * 2 + int(received[u])
+                         for u in corrupted_at}
+
+    def test_no_corruption_leaves_empty(self):
+        n = 16
+        spec = SketchSpec(capacity=4, max_id=n * n * 2 - 1, max_abs_count=2 * n)
+        rng = np.random.default_rng(1)
+        msgs = rng.integers(0, 2, n)
+        sketch = KSparseSketch(spec, seed=3)
+        v = 2
+        for u in range(n):
+            sketch.add((u * n + v) * 2 + int(msgs[u]), 1)
+            sketch.add((u * n + v) * 2 + int(msgs[u]), -1)
+        assert sketch.recover() == {}

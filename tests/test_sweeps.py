@@ -1,0 +1,43 @@
+"""Unit tests for the sweep utilities."""
+
+import pytest
+
+from repro.adversary import AdaptiveAdversary, NullAdversary
+from repro.analysis.sweeps import resilience_threshold, round_scaling
+from repro.core.det_sqrt import DetSqrtAllToAll
+
+
+class TestResilienceThreshold:
+    def test_finds_supported_range(self):
+        result = resilience_threshold(
+            DetSqrtAllToAll, 16,
+            lambda a: AdaptiveAdversary(a, seed=1),
+            alphas=[1 / 16, 1 / 4],
+            bandwidth=16)
+        assert result.max_alpha == 1 / 16
+        assert result.first_failure_alpha == 1 / 4  # ProfileError point
+
+    def test_zero_when_nothing_passes(self):
+        result = resilience_threshold(
+            DetSqrtAllToAll, 16,
+            lambda a: AdaptiveAdversary(a, seed=1),
+            alphas=[0.5],
+            bandwidth=16)
+        assert result.max_alpha == 0.0
+
+    def test_stops_after_first_failure(self):
+        result = resilience_threshold(
+            DetSqrtAllToAll, 16,
+            lambda a: AdaptiveAdversary(a, seed=1),
+            alphas=[1 / 16, 0.4, 0.5],
+            bandwidth=16)
+        assert len(result.points) == 2  # never evaluates 0.5
+
+
+class TestRoundScaling:
+    def test_series_shape(self):
+        points = round_scaling(DetSqrtAllToAll, [16, 64],
+                               lambda n: NullAdversary(), bandwidth=16)
+        assert [p.n for p in points] == [16, 64]
+        assert all(p.accuracy == 1.0 for p in points)
+        assert all(p.rounds >= 4 for p in points)

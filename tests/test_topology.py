@@ -1,0 +1,124 @@
+"""Unit tests for node-indexing helpers (segments, hypercube, partitions)."""
+
+import numpy as np
+import pytest
+
+from repro.cliquesim.topology import (
+    balanced_random_partition,
+    consecutive_segments,
+    flip,
+    partition_members,
+    prefix_class,
+    sqrt_segments,
+    suffix_class,
+)
+
+
+class TestSegments:
+    def test_consecutive(self):
+        segments = consecutive_segments(12, 4)
+        assert len(segments) == 3
+        assert np.array_equal(segments[1], [4, 5, 6, 7])
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            consecutive_segments(10, 4)
+
+    def test_sqrt_segments(self):
+        segments = sqrt_segments(16)
+        assert len(segments) == 4
+        assert all(seg.size == 4 for seg in segments)
+
+    def test_sqrt_requires_perfect_square(self):
+        with pytest.raises(ValueError):
+            sqrt_segments(12)
+
+
+class TestFlip:
+    def test_msb_first_indexing(self):
+        # n = 8, ids are 3 bits; bit 0 is the most significant
+        assert flip(0b000, 0, 1, 8) == 0b100
+        assert flip(0b111, 2, 0, 8) == 0b110
+        assert flip(0b101, 1, 1, 8) == 0b111
+
+    def test_flip_identity(self):
+        assert flip(5, 1, (5 >> 1) & 1, 8) == 5
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            flip(0, 0, 1, 12)
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            flip(0, 3, 1, 8)
+
+    def test_involution(self):
+        n = 16
+        for v in range(n):
+            for bit in range(4):
+                partner = flip(v, bit, 1 - ((v >> (3 - bit)) & 1), n)
+                back = flip(partner, bit, (v >> (3 - bit)) & 1, n)
+                assert back == v
+
+
+class TestPrefixSuffixClasses:
+    def test_prefix_class_initial(self):
+        assert np.array_equal(prefix_class(5, 1, 8), np.arange(8))
+
+    def test_prefix_class_final(self):
+        assert np.array_equal(prefix_class(5, 4, 8), [5])
+
+    def test_suffix_class_initial(self):
+        # S(u, 1): agree on all log n bits -> {u}
+        assert np.array_equal(suffix_class(5, 1, 8), [5])
+
+    def test_suffix_class_final(self):
+        assert np.array_equal(suffix_class(5, 4, 8), np.arange(8))
+
+    def test_lemma_6_2_intersection(self):
+        # P(u, i) ∩ S(u, i) = {u} for all i (Section 6.1)
+        n = 16
+        for u in range(n):
+            for i in range(1, 6):
+                inter = np.intersect1d(prefix_class(u, i, n),
+                                       suffix_class(u, i, n))
+                assert np.array_equal(inter, [u])
+
+    def test_sizes_multiply_to_n(self):
+        n = 16
+        for u in range(n):
+            for i in range(1, 6):
+                assert prefix_class(u, i, n).size * \
+                    suffix_class(u, i, n).size == n
+
+
+class TestBalancedRandomPartition:
+    def test_exact_sizes(self):
+        part_of = balanced_random_partition(64, 8, shared_seed=5)
+        counts = np.bincount(part_of, minlength=8)
+        assert np.all(counts == 8)
+
+    def test_deterministic_from_seed(self):
+        a = balanced_random_partition(64, 8, shared_seed=5)
+        b = balanced_random_partition(64, 8, shared_seed=5)
+        assert np.array_equal(a, b)
+
+    def test_seed_matters(self):
+        a = balanced_random_partition(64, 8, shared_seed=5)
+        b = balanced_random_partition(64, 8, shared_seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            balanced_random_partition(10, 3, shared_seed=0)
+
+    def test_members_sorted(self):
+        part_of = balanced_random_partition(32, 4, shared_seed=9)
+        for members in partition_members(part_of, 4):
+            assert np.all(np.diff(members) > 0)
+
+    def test_partition_is_actually_random(self):
+        """Consecutive ids should not systematically share parts."""
+        part_of = balanced_random_partition(256, 16, shared_seed=11)
+        same_as_next = np.mean(part_of[:-1] == part_of[1:])
+        assert same_as_next < 0.3

@@ -1,0 +1,64 @@
+"""Unit tests for execution telemetry."""
+
+import numpy as np
+
+from repro.adversary import AdaptiveAdversary
+from repro.cliquesim.network import CongestedClique
+from repro.cliquesim.trace import (
+    corruption_rate,
+    format_breakdown,
+    phase_breakdown,
+    phase_of,
+)
+from repro.core import AllToAllInstance
+from repro.core.det_sqrt import DetSqrtAllToAll
+
+
+class TestPhaseOf:
+    def test_strips_chunk_suffix(self):
+        assert phase_of("adaptive/scatter[bits32]") == "adaptive"
+
+    def test_top_level(self):
+        assert phase_of("det-sqrt/step1/wave0/r1") == "det-sqrt"
+
+    def test_unlabelled(self):
+        assert phase_of("") == "(unlabelled)"
+
+
+class TestBreakdown:
+    def _run(self):
+        instance = AllToAllInstance.random(16, width=1, seed=1)
+        net = CongestedClique(16, bandwidth=16,
+                              adversary=AdaptiveAdversary(1 / 16, seed=2))
+        DetSqrtAllToAll().run(instance, net)
+        return net
+
+    def test_phases_cover_all_rounds(self):
+        net = self._run()
+        phases = phase_breakdown(net.history)
+        assert sum(p.rounds for p in phases.values()) == net.rounds_used
+
+    def test_corruption_totals_match(self):
+        net = self._run()
+        phases = phase_breakdown(net.history)
+        assert sum(p.corrupted_entries for p in phases.values()) == \
+            net.entries_corrupted
+
+    def test_format_contains_total(self):
+        net = self._run()
+        text = format_breakdown(net)
+        assert "TOTAL" in text
+        assert str(net.rounds_used) in text
+
+    def test_corruption_rate_bounds(self):
+        net = self._run()
+        rate = corruption_rate(net.history, net.n)
+        assert 0 < rate < 1
+
+    def test_corruption_rate_empty(self):
+        assert corruption_rate([], 8) == 0.0
+
+    def test_mean_width(self):
+        net = self._run()
+        for stats in phase_breakdown(net.history).values():
+            assert stats.mean_width > 0
