@@ -3,72 +3,54 @@
 Prints, for each protocol at n = 64: the paper's claimed (α, adaptivity,
 randomness, rounds) against the measured (max surviving α at this n, rounds,
 accuracy) — the reproduction of Table 1 as one table.
+
+Runs as a declarative campaign through :mod:`repro.experiments`: the
+``table1`` registry entry expands to the full protocol × alpha grid, the
+runner records every cell (unsupported alphas raise ProfileError and are
+captured as rows, not crashes), and the aggregator derives each protocol's
+threshold from the full grid.
 """
 
 import pytest
 
-from repro.adversary import AdaptiveAdversary, NonAdaptiveAdversary
-from repro.core import AllToAllInstance, run_protocol
-from repro.core.adaptive import AdaptiveAllToAll
-from repro.core.det_logn import DetLogAllToAll
-from repro.core.det_sqrt import DetSqrtAllToAll
-from repro.core.nonadaptive import NonAdaptiveAllToAll
-from repro.core.profiles import ProfileError
+from repro.experiments import (aggregate, build_campaign, estimate_thresholds,
+                               run_campaign)
 
 N = 64
 
-ROWS = [
-    # (protocol factory, adversary factory, paper row description)
-    ("nonadaptive", NonAdaptiveAllToAll,
-     lambda a: NonAdaptiveAdversary(a, seed=1),
-     "Θ(1)        non-adaptive randomized O(1)"),
-    ("adaptive", AdaptiveAllToAll,
-     lambda a: AdaptiveAdversary(a, seed=2),
-     "exp(-√(log n log log n)) adaptive randomized O(1)"),
-    ("det-logn", DetLogAllToAll,
-     lambda a: AdaptiveAdversary(a, seed=3),
-     "Θ(1)        adaptive     deterministic O(log n)"),
-    ("det-sqrt", DetSqrtAllToAll,
-     lambda a: AdaptiveAdversary(a, seed=4),
-     "Θ(1/√n)     adaptive     deterministic O(1)"),
-]
-
-ALPHAS = [1 / 64, 1 / 32, 3 / 64, 1 / 16]
-
-
-def max_surviving_alpha(protocol_factory, adversary_factory):
-    """Largest alpha in the sweep the protocol handles (>= 97% accuracy)."""
-    best = (0.0, 0, 1.0)
-    instance = AllToAllInstance.random(N, width=1, seed=8)
-    for alpha in ALPHAS:
-        try:
-            report = run_protocol(protocol_factory(), instance,
-                                  adversary_factory(alpha), bandwidth=32,
-                                  seed=9)
-        except ProfileError:
-            break
-        if report.accuracy < 0.97:
-            break
-        best = (alpha, report.rounds, report.accuracy)
-    return best
+PAPER_ROWS = {
+    "nonadaptive": "Θ(1)        non-adaptive randomized O(1)",
+    "adaptive": "exp(-√(log n log log n)) adaptive randomized O(1)",
+    "det-logn": "Θ(1)        adaptive     deterministic O(log n)",
+    "det-sqrt": "Θ(1/√n)     adaptive     deterministic O(1)",
+}
 
 
 def test_table1_summary(benchmark, table_printer):
-    def sweep():
-        rows = []
-        for name, proto, adv, paper in ROWS:
-            alpha, rounds, accuracy = max_surviving_alpha(proto, adv)
-            rows.append((name, paper, alpha, rounds, accuracy))
-        return rows
+    spec = build_campaign("table1", n=N)
 
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    def sweep():
+        result = run_campaign(spec, jobs=1)
+        cells = aggregate(result.rows())
+        return estimate_thresholds(cells, accuracy_bar=spec.accuracy_bar)
+
+    estimates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_name = {}
+    rows = []
+    for est in estimates:
+        best = est.best_cell
+        alpha = est.max_alpha
+        rounds = best.rounds.mean if best else 0.0
+        accuracy = best.accuracy.mean if best else 0.0
+        by_name[est.protocol] = (alpha, rounds)
+        rows.append(f"{est.protocol:>12} | {PAPER_ROWS[est.protocol]:>44} | "
+                    f"{alpha:>9.4f} {rounds:>7.0f} {accuracy:>9.4%}")
     table_printer(
         f"E5 Table 1 reproduction (n={N}): paper claim vs measured",
         f"{'protocol':>12} | {'paper: alpha/adaptivity/rand/rounds':>44} | "
         f"{'max alpha':>9} {'rounds':>7} {'accuracy':>9}",
-        [f"{name:>12} | {paper:>44} | {alpha:>9.4f} {rounds:>7} "
-         f"{accuracy:>9.4%}" for name, paper, alpha, rounds, accuracy in rows])
-    by_name = {name: (alpha, rounds) for name, _, alpha, rounds, _ in rows}
+        rows)
+    assert set(by_name) == set(PAPER_ROWS)
     # the qualitative Table 1 shape at this n:
     # the deterministic-constant-round protocol tolerates the least alpha...
     assert by_name["det-sqrt"][0] >= 1 / 64

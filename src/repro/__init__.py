@@ -13,6 +13,8 @@ Public API highlights:
   :mod:`repro.hashing`, :mod:`repro.fields` — substrates.
 * :mod:`repro.baseline` — comparison baselines (naive exchange and a
   Fischer–Parter 2023-style tree-upcast compiler).
+* :mod:`repro.experiments` — declarative, parallel, resumable experiment
+  campaigns (the engine behind the sweeps, benchmarks and CLI).
 """
 
 __version__ = "1.0.0"

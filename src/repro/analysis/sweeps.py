@@ -1,8 +1,18 @@
 """Reusable experiment sweeps: resilience thresholds and round scaling.
 
-These are the measurement loops behind the Table 1 summary benchmark and
-the threshold-explorer example, exposed as library functions so downstream
-users can evaluate their own protocols/adversaries on the simulator.
+These are thin wrappers over :mod:`repro.experiments` — the declarative
+campaign engine — kept for the factory-based API the examples and tests
+use.  Each alpha/size point becomes a :class:`~repro.experiments.spec.TrialSpec`
+executed through :func:`~repro.experiments.runner.run_single`, so the
+bookkeeping (derived seeds, failure capture, row schema) is shared with
+the parallel campaign runner.
+
+``resilience_threshold`` records the **full grid**: a sub-bar accuracy at
+one alpha no longer stops the sweep (non-monotone regimes stay visible and
+the aggregator derives the threshold after the fact).  A
+:class:`~repro.core.profiles.ProfileError` remains a hard stop — past it
+the profile's inequalities are void for every larger alpha of the same
+configuration, so continuing would only record noise.
 """
 
 from __future__ import annotations
@@ -11,10 +21,10 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.adversary.base import Adversary
-from repro.core.alltoall import run_protocol
-from repro.core.messages import AllToAllInstance, ProtocolReport
-from repro.core.profiles import ProfileError
+from repro.core.messages import ProtocolReport
 from repro.core.protocol import AllToAllProtocol
+from repro.experiments.runner import STATUS_OK, STATUS_UNSUPPORTED, run_single
+from repro.experiments.spec import TrialSpec
 
 
 @dataclass
@@ -54,6 +64,14 @@ class ThresholdResult:
         return None
 
 
+def _sweep_trial(protocol_name: str, adversary_name: str, n: int,
+                 alpha: float, width: int, bandwidth: int,
+                 seed: int) -> TrialSpec:
+    return TrialSpec(protocol=protocol_name, adversary=adversary_name,
+                     n=n, alpha=alpha, width=width, bandwidth=bandwidth,
+                     base_seed=seed)
+
+
 def resilience_threshold(
     protocol_factory: Callable[[], AllToAllProtocol],
     n: int,
@@ -64,23 +82,29 @@ def resilience_threshold(
     bandwidth: int = 32,
     seed: int = 0,
 ) -> ThresholdResult:
-    """Sweep alphas ascending; record accuracy until the protocol fails or
-    declares the alpha unsupported (ProfileError)."""
-    instance = AllToAllInstance.random(n, width=width, seed=seed)
-    result = ThresholdResult(protocol=protocol_factory().name, n=n,
+    """Sweep alphas ascending, recording accuracy at every grid point.
+
+    Sub-bar accuracy is recorded and the sweep continues; only a
+    ``ProfileError`` (configuration outside the analysis' guarantees)
+    stops it, since every larger alpha is unsupported a fortiori.
+    """
+    probe = protocol_factory()
+    result = ThresholdResult(protocol=probe.name, n=n,
                              accuracy_bar=accuracy_bar)
     for alpha in sorted(alphas):
-        try:
-            report = run_protocol(protocol_factory(), instance,
-                                  adversary_factory(alpha),
-                                  bandwidth=bandwidth, seed=seed + 1)
-            result.points.append(SweepPoint(alpha=alpha, supported=True,
-                                            report=report))
-        except ProfileError:
+        adversary = adversary_factory(alpha)
+        trial = _sweep_trial(probe.name, type(adversary).__name__, n,
+                             alpha, width, bandwidth, seed)
+        row, report = run_single(trial, protocol_factory=protocol_factory,
+                                 adversary_factory=lambda t: adversary)
+        if row["status"] == STATUS_UNSUPPORTED:
             result.points.append(SweepPoint(alpha=alpha, supported=False))
             break
-        if result.points[-1].accuracy < accuracy_bar:
-            break
+        if row["status"] != STATUS_OK:
+            raise RuntimeError(
+                f"trial crashed at alpha={alpha}: {row['reason']}")
+        result.points.append(SweepPoint(alpha=alpha, supported=True,
+                                        report=report))
     return result
 
 
@@ -100,12 +124,17 @@ def round_scaling(
     seed: int = 0,
 ) -> List[ScalingPoint]:
     """Measure rounds and accuracy across n (the E1/E3/E4 series)."""
+    probe = protocol_factory()
     points = []
     for n in sizes:
-        instance = AllToAllInstance.random(n, width=width, seed=seed)
-        report = run_protocol(protocol_factory(), instance,
-                              adversary_factory(n), bandwidth=bandwidth,
-                              seed=seed + 1)
+        adversary = adversary_factory(n)
+        trial = _sweep_trial(probe.name, type(adversary).__name__, n,
+                             adversary.alpha, width, bandwidth, seed)
+        row, report = run_single(trial, protocol_factory=protocol_factory,
+                                 adversary_factory=lambda t: adversary)
+        if row["status"] != STATUS_OK:
+            raise RuntimeError(
+                f"scaling trial failed at n={n}: {row.get('reason')}")
         points.append(ScalingPoint(n=n, rounds=report.rounds,
                                    accuracy=report.accuracy))
     return points

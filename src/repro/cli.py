@@ -6,6 +6,10 @@ Usage (after ``pip install -e .``):
     python -m repro sweep --protocol det-logn --n 64 --alphas 0.01 0.02 0.04
     python -m repro table1 --n 64
     python -m repro consensus --n 64 --alpha 0.03125
+    python -m repro experiment run --campaign table1 --jobs 4
+    python -m repro experiment resume --campaign table1
+    python -m repro experiment report --store runs/table1.jsonl
+    python -m repro experiment list
 """
 
 from __future__ import annotations
@@ -120,6 +124,93 @@ def cmd_consensus(args) -> int:
     return 0 if report.consensus_reached else 1
 
 
+def _campaign_from_args(args):
+    """Resolve the campaign: named registry entry or a JSON spec file."""
+    from repro.experiments import ExperimentSpec, build_campaign
+    if getattr(args, "spec", None):
+        with open(args.spec, "r", encoding="utf-8") as fh:
+            spec = ExperimentSpec.from_json(fh.read())
+        return spec.with_overrides(replicates=args.replicates,
+                                   base_seed=args.seed_override,
+                                   accuracy_bar=args.accuracy_bar)
+    return build_campaign(args.campaign, replicates=args.replicates,
+                          base_seed=args.seed_override,
+                          accuracy_bar=args.accuracy_bar)
+
+
+def _default_store(spec) -> str:
+    return f"runs/{spec.name}.jsonl"
+
+
+def _run_experiment(args, resume: bool) -> int:
+    from repro.experiments import render_report, run_campaign
+    spec = _campaign_from_args(args)
+    if args.dump_spec:
+        print(spec.to_json())
+        return 0
+    store_path = args.store or _default_store(spec)
+    total = spec.size()
+    print(f"campaign {spec.name!r}: {total} trials -> {store_path} "
+          f"(jobs={args.jobs}, resume={resume})")
+
+    def progress(done, pending, row):
+        trial = row["trial"]
+        print(f"  [{done}/{pending}] {trial['protocol']:>12} "
+              f"{trial['adversary']:>13} n={trial['n']:<4} "
+              f"alpha={trial['alpha']:<8.5f} r{trial['replicate']} "
+              f"-> {row['status']}", flush=True)
+
+    result = run_campaign(spec, store=store_path, jobs=args.jobs,
+                          resume=resume,
+                          progress=progress if not args.quiet else None)
+    print(result)
+    print()
+    print(render_report(result.rows(), accuracy_bar=spec.accuracy_bar))
+    return 1 if result.errors else 0
+
+
+def cmd_experiment_run(args) -> int:
+    return _run_experiment(args, resume=False)
+
+
+def cmd_experiment_resume(args) -> int:
+    return _run_experiment(args, resume=True)
+
+
+def cmd_experiment_report(args) -> int:
+    from repro.experiments import TrialStore, render_report
+    store = TrialStore(args.store)
+    rows = store.rows()
+    trial_rows = [r for r in rows if "trial" in r]
+    if not trial_rows:
+        print(f"no trial rows in {args.store}")
+        return 1
+    bar = args.accuracy_bar
+    if bar is None:
+        # the runner records each campaign's spec alongside its rows;
+        # default to the bar the campaign itself declared
+        specs = [r["spec"] for r in rows if r.get("kind") == "campaign"]
+        bar = specs[-1]["accuracy_bar"] if specs else 1.0
+    print(f"{len(trial_rows)} trial rows in {args.store}")
+    print()
+    print(render_report(trial_rows, accuracy_bar=bar))
+    return 0
+
+
+def cmd_experiment_list(args) -> int:
+    from repro.experiments import ADVERSARIES, build_campaign, campaign_names
+    print("registered campaigns:")
+    for name in campaign_names():
+        spec = build_campaign(name)
+        print(f"  {name:>18}  {spec.size():>4} trials  "
+              f"(replicates={spec.replicates}, "
+              f"bar={spec.accuracy_bar:.0%})")
+    print("\nadversary kinds:")
+    for kind, blurb in sorted(ADVERSARIES.items()):
+        print(f"  {kind:>18}  {blurb}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -162,6 +253,48 @@ def build_parser() -> argparse.ArgumentParser:
                            default="det-sqrt")
     common(consensus)
     consensus.set_defaults(func=cmd_consensus)
+
+    experiment = sub.add_parser(
+        "experiment", help="declarative parallel campaigns "
+        "(run | resume | report | list)")
+    esub = experiment.add_subparsers(dest="experiment_command", required=True)
+
+    def campaign_args(p):
+        p.add_argument("--campaign", default="table1",
+                       help="registered campaign name (see 'experiment list')")
+        p.add_argument("--spec", default=None,
+                       help="path to an ExperimentSpec JSON file "
+                            "(overrides --campaign)")
+        p.add_argument("--store", default=None,
+                       help="JSONL artifact store (default runs/<name>.jsonl)")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = inline)")
+        p.add_argument("--replicates", type=int, default=None)
+        p.add_argument("--seed", dest="seed_override", type=int, default=None)
+        p.add_argument("--accuracy-bar", type=float, default=None)
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress per-trial progress lines")
+        p.add_argument("--dump-spec", action="store_true",
+                       help="print the expanded spec JSON and exit")
+
+    erun = esub.add_parser("run", help="execute a campaign from scratch")
+    campaign_args(erun)
+    erun.set_defaults(func=cmd_experiment_run)
+
+    eresume = esub.add_parser(
+        "resume", help="execute only trials missing from the store")
+    campaign_args(eresume)
+    eresume.set_defaults(func=cmd_experiment_resume)
+
+    ereport = esub.add_parser("report", help="aggregate a result store")
+    ereport.add_argument("--store", required=True)
+    ereport.add_argument("--accuracy-bar", type=float, default=None,
+                         help="threshold bar (default: the bar recorded by "
+                              "the campaign that filled the store)")
+    ereport.set_defaults(func=cmd_experiment_report)
+
+    elist = esub.add_parser("list", help="list campaigns and adversaries")
+    elist.set_defaults(func=cmd_experiment_list)
     return parser
 
 

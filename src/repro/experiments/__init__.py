@@ -1,0 +1,92 @@
+"""Declarative, parallel, resumable experiment orchestration.
+
+The engine behind every sweep, benchmark and example:
+
+* :mod:`~repro.experiments.spec` — JSON-serializable campaign descriptions
+  (grids of protocol × adversary × n × alpha × width × bandwidth ×
+  replicate, with per-trial derived seeds);
+* :mod:`~repro.experiments.runner` — process-pool execution with chunked
+  dispatch, per-trial failure capture, and order-independent results;
+* :mod:`~repro.experiments.store` — a content-addressed JSONL artifact
+  store giving transparent caching and resume;
+* :mod:`~repro.experiments.aggregate` — replicate statistics and
+  full-grid threshold estimation;
+* :mod:`~repro.experiments.registry` — the named scenario catalog
+  (``table1``, ``figure2-butterfly``, ...);
+* :mod:`~repro.experiments.report` — plain-text result rendering.
+
+Quickstart::
+
+    from repro.experiments import build_campaign, run_campaign, aggregate
+
+    result = run_campaign(build_campaign("table1"), jobs=4,
+                          store="runs/table1.jsonl")
+    for cell in aggregate(result.rows()):
+        print(cell.protocol, cell.alpha, cell.accuracy.mean)
+"""
+
+from repro.experiments.aggregate import (
+    CellStats,
+    Stat,
+    ThresholdEstimate,
+    aggregate,
+    estimate_thresholds,
+)
+from repro.experiments.registry import (
+    TABLE1_ALPHAS,
+    build_campaign,
+    campaign_names,
+    register,
+)
+from repro.experiments.report import (
+    render_cells,
+    render_report,
+    render_thresholds,
+)
+from repro.experiments.runner import (
+    ADVERSARIES,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_UNSUPPORTED,
+    CampaignResult,
+    execute_trial,
+    make_adversary,
+    run_campaign,
+    run_single,
+)
+from repro.experiments.spec import (
+    ExperimentSpec,
+    GridSpec,
+    TrialSpec,
+    free_grid,
+)
+from repro.experiments.store import TrialStore
+
+__all__ = [
+    "ADVERSARIES",
+    "CampaignResult",
+    "CellStats",
+    "ExperimentSpec",
+    "GridSpec",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_UNSUPPORTED",
+    "Stat",
+    "TABLE1_ALPHAS",
+    "ThresholdEstimate",
+    "TrialSpec",
+    "TrialStore",
+    "aggregate",
+    "build_campaign",
+    "campaign_names",
+    "estimate_thresholds",
+    "execute_trial",
+    "free_grid",
+    "make_adversary",
+    "register",
+    "render_cells",
+    "render_report",
+    "render_thresholds",
+    "run_campaign",
+    "run_single",
+]

@@ -1,0 +1,196 @@
+"""Replicate aggregation and threshold estimation.
+
+``aggregate`` folds raw trial rows into per-cell statistics (a *cell* is a
+trial coordinate minus the replicate axis): mean/std/95%-CI for accuracy,
+rounds and bits, plus status counts.  ``estimate_thresholds`` then derives,
+per (protocol, adversary, n) series, the resilience threshold — the
+largest alpha whose cell meets the accuracy bar — from the *full* recorded
+grid, which is what lets the sweep layer report non-monotone regimes
+instead of stopping at the first dip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.experiments.runner import (STATUS_ERROR, STATUS_OK,
+                                      STATUS_UNSUPPORTED)
+
+#: z-score for a 95% normal confidence interval
+_Z95 = 1.96
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _std(values: List[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = _mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+@dataclass
+class Stat:
+    """Mean / sample std / half-width of the 95% CI over replicates."""
+
+    mean: float = 0.0
+    std: float = 0.0
+    ci95: float = 0.0
+
+    @classmethod
+    def of(cls, values: List[float]) -> "Stat":
+        std = _std(values)
+        ci = _Z95 * std / math.sqrt(len(values)) if values else 0.0
+        return cls(mean=_mean(values), std=std, ci95=ci)
+
+
+@dataclass
+class CellStats:
+    """Aggregated replicates of one grid cell."""
+
+    protocol: str
+    adversary: str
+    n: int
+    alpha: float
+    width: int
+    bandwidth: int
+    trials: int = 0
+    ok: int = 0
+    unsupported: int = 0
+    errors: int = 0
+    accuracy: Stat = field(default_factory=Stat)
+    rounds: Stat = field(default_factory=Stat)
+    bits: Stat = field(default_factory=Stat)
+    perfect_rate: float = 0.0
+
+    @property
+    def key(self) -> Tuple:
+        return (self.protocol, self.adversary, self.n, self.alpha,
+                self.width, self.bandwidth)
+
+    @property
+    def supported(self) -> bool:
+        """A cell is supported if at least one replicate ran to completion
+        (unsupported/error replicates don't erase a measured signal)."""
+        return self.ok > 0
+
+    def meets_bar(self, accuracy_bar: float) -> bool:
+        return self.supported and self.accuracy.mean >= accuracy_bar
+
+    def to_dict(self) -> Dict:
+        return {
+            "protocol": self.protocol, "adversary": self.adversary,
+            "n": self.n, "alpha": self.alpha, "width": self.width,
+            "bandwidth": self.bandwidth, "trials": self.trials,
+            "ok": self.ok, "unsupported": self.unsupported,
+            "errors": self.errors, "perfect_rate": self.perfect_rate,
+            "accuracy_mean": self.accuracy.mean,
+            "accuracy_std": self.accuracy.std,
+            "accuracy_ci95": self.accuracy.ci95,
+            "rounds_mean": self.rounds.mean,
+            "bits_mean": self.bits.mean,
+        }
+
+
+def aggregate(rows: Iterable[Dict]) -> List[CellStats]:
+    """Fold result rows into sorted per-cell statistics.
+
+    Rows from different campaigns may be mixed freely; duplicate hashes
+    should be deduplicated upstream (the store already does).
+    """
+    cells: Dict[Tuple, Dict[str, List]] = {}
+    for row in rows:
+        trial = row.get("trial")
+        if trial is None:
+            continue  # campaign metadata rows live alongside trial rows
+        key = (trial["protocol"], trial["adversary"], trial["n"],
+               trial["alpha"], trial["width"], trial["bandwidth"])
+        bucket = cells.setdefault(key, {
+            "ok": [], "unsupported": 0, "errors": 0})
+        if row["status"] == STATUS_OK:
+            bucket["ok"].append(row)
+        elif row["status"] == STATUS_UNSUPPORTED:
+            bucket["unsupported"] += 1
+        elif row["status"] == STATUS_ERROR:
+            bucket["errors"] += 1
+
+    out: List[CellStats] = []
+    for key in sorted(cells):
+        bucket = cells[key]
+        ok_rows = bucket["ok"]
+        stats = CellStats(
+            protocol=key[0], adversary=key[1], n=key[2], alpha=key[3],
+            width=key[4], bandwidth=key[5],
+            trials=len(ok_rows) + bucket["unsupported"] + bucket["errors"],
+            ok=len(ok_rows),
+            unsupported=bucket["unsupported"],
+            errors=bucket["errors"],
+        )
+        if ok_rows:
+            stats.accuracy = Stat.of([r["accuracy"] for r in ok_rows])
+            stats.rounds = Stat.of([float(r["rounds"]) for r in ok_rows])
+            stats.bits = Stat.of([float(r["bits_sent"]) for r in ok_rows])
+            stats.perfect_rate = _mean(
+                [1.0 if r["correct_entries"] == r["total_entries"] else 0.0
+                 for r in ok_rows])
+        out.append(stats)
+    return out
+
+
+@dataclass
+class ThresholdEstimate:
+    """Resilience threshold of one (protocol, adversary, n) series.
+
+    Subsumes the old ``analysis.sweeps.ThresholdResult``: derived from the
+    full alpha grid after the fact rather than by early-exiting a loop, so
+    non-monotone accuracy profiles are visible in ``cells``.
+    """
+
+    protocol: str
+    adversary: str
+    n: int
+    accuracy_bar: float
+    width: int = 1
+    bandwidth: int = 32
+    cells: List[CellStats] = field(default_factory=list)
+
+    @property
+    def max_alpha(self) -> float:
+        """Largest alpha whose cell meets the accuracy bar."""
+        passing = [c.alpha for c in self.cells if c.meets_bar(self.accuracy_bar)]
+        return max(passing) if passing else 0.0
+
+    @property
+    def first_failure_alpha(self) -> Optional[float]:
+        for cell in sorted(self.cells, key=lambda c: c.alpha):
+            if not cell.meets_bar(self.accuracy_bar):
+                return cell.alpha
+        return None
+
+    @property
+    def best_cell(self) -> Optional[CellStats]:
+        """The cell at ``max_alpha`` (None when nothing passes)."""
+        passing = [c for c in self.cells if c.meets_bar(self.accuracy_bar)]
+        return max(passing, key=lambda c: c.alpha) if passing else None
+
+
+def estimate_thresholds(cells: Iterable[CellStats],
+                        accuracy_bar: float = 1.0) -> List[ThresholdEstimate]:
+    """Group cells into (protocol, adversary, n, width, bandwidth) series
+    and estimate the threshold for each."""
+    series: Dict[Tuple, List[CellStats]] = {}
+    for cell in cells:
+        key = (cell.protocol, cell.adversary, cell.n, cell.width,
+               cell.bandwidth)
+        series.setdefault(key, []).append(cell)
+    out = []
+    for key in sorted(series):
+        out.append(ThresholdEstimate(
+            protocol=key[0], adversary=key[1], n=key[2],
+            accuracy_bar=accuracy_bar, width=key[3], bandwidth=key[4],
+            cells=sorted(series[key], key=lambda c: c.alpha)))
+    return out

@@ -1,0 +1,136 @@
+"""Named scenario catalog.
+
+Each entry is a builder ``(**overrides) -> ExperimentSpec`` so a new
+workload is one registry entry, not a new benchmark file.  The shipped
+catalog mirrors the paper's tables/figures:
+
+* ``table1``          — the four protocol rows across the Table 1 alpha
+                        sweep (accuracy bar 97%, as in E5);
+* ``figure1-ldc``     — the LDC-query-driven randomized protocols across
+                        alphas (the Figure 1 concentration regime);
+* ``figure2-butterfly`` — det-logn's butterfly exchange across n;
+* ``figure3-grid``    — det-sqrt's √n-grid two-step across n;
+* ``headline-scaling`` — the title claim: fault volume absorbed across n;
+* ``smoke``           — a seconds-fast grid for CI and multiprocess tests.
+
+``build_campaign`` resolves a name; overrides (replicates, base_seed,
+accuracy_bar) thread through uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments.spec import ExperimentSpec, GridSpec
+
+#: the Table 1 alpha sweep used by the E5 benchmark
+TABLE1_ALPHAS = (1 / 64, 1 / 32, 3 / 64, 1 / 16)
+
+_BUILDERS: Dict[str, Callable[..., ExperimentSpec]] = {}
+
+
+def register(name: str):
+    """Register ``builder`` under ``name`` (decorator form)."""
+    def _wrap(builder: Callable[..., ExperimentSpec]):
+        _BUILDERS[name] = builder
+        return builder
+    return _wrap
+
+
+def campaign_names() -> List[str]:
+    return sorted(_BUILDERS)
+
+
+def build_campaign(name: str, replicates: int = None, base_seed: int = None,
+                   accuracy_bar: float = None, **kwargs) -> ExperimentSpec:
+    """Instantiate a named campaign, applying uniform overrides."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(f"unknown campaign {name!r}; known: "
+                         f"{campaign_names()}") from None
+    spec = builder(**kwargs)
+    return spec.with_overrides(replicates=replicates, base_seed=base_seed,
+                               accuracy_bar=accuracy_bar)
+
+
+@register("table1")
+def table1(n: int = 64, bandwidth: int = 32) -> ExperimentSpec:
+    """All four Table 1 rows across the E5 alpha sweep."""
+    return ExperimentSpec(
+        name="table1",
+        grids=(
+            GridSpec(protocols=("nonadaptive",), adversaries=("nonadaptive",),
+                     ns=(n,), alphas=TABLE1_ALPHAS, bandwidths=(bandwidth,)),
+            GridSpec(protocols=("adaptive", "det-logn"),
+                     adversaries=("adaptive",),
+                     ns=(n,), alphas=TABLE1_ALPHAS, bandwidths=(bandwidth,)),
+            # det-sqrt tolerates Θ(1/√n): alphas beyond ~2/n raise
+            # ProfileError instantly, so the full sweep stays cheap
+            GridSpec(protocols=("det-sqrt",), adversaries=("adaptive",),
+                     ns=(n,), alphas=TABLE1_ALPHAS, bandwidths=(bandwidth,)),
+        ),
+        accuracy_bar=0.97,
+    )
+
+
+@register("figure1-ldc")
+def figure1_ldc(n: int = 64, bandwidth: int = 32) -> ExperimentSpec:
+    """The randomized protocols whose decoding rides the non-adaptive LDC
+    query structure of Figure 1."""
+    return ExperimentSpec(
+        name="figure1-ldc",
+        grids=(GridSpec(protocols=("nonadaptive", "adaptive"),
+                        adversaries=("adaptive",),
+                        ns=(n,), alphas=(1 / 64, 1 / 32),
+                        bandwidths=(bandwidth,)),),
+        accuracy_bar=0.97,
+    )
+
+
+@register("figure2-butterfly")
+def figure2_butterfly(bandwidth: int = 16) -> ExperimentSpec:
+    """det-logn's butterfly exchange across n (Figure 2's walkthrough)."""
+    return ExperimentSpec(
+        name="figure2-butterfly",
+        grids=(GridSpec(protocols=("det-logn",), adversaries=("adaptive",),
+                        ns=(4, 16, 64), alphas=(0.0, 1 / 32),
+                        bandwidths=(bandwidth,)),),
+    )
+
+
+@register("figure3-grid")
+def figure3_grid(bandwidth: int = 16) -> ExperimentSpec:
+    """det-sqrt's √n-grid two-step across n (Figure 3's walkthrough)."""
+    return ExperimentSpec(
+        name="figure3-grid",
+        grids=(GridSpec(protocols=("det-sqrt",), adversaries=("adaptive",),
+                        ns=(16, 64), alphas=(0.0, 1 / 64),
+                        bandwidths=(bandwidth,)),),
+    )
+
+
+@register("headline-scaling")
+def headline_scaling(bandwidth: int = 32) -> ExperimentSpec:
+    """The title claim series: det-logn absorbing Θ(αn²) faulty edges per
+    round across n while delivering perfectly."""
+    return ExperimentSpec(
+        name="headline-scaling",
+        grids=(GridSpec(protocols=("det-logn",), adversaries=("adaptive",),
+                        ns=(32, 64, 128), alphas=(1 / 32,),
+                        bandwidths=(bandwidth,)),),
+    )
+
+
+@register("smoke")
+def smoke() -> ExperimentSpec:
+    """Seconds-fast campaign exercising ok/unsupported paths — used by CI
+    to smoke-test the parallel runner."""
+    return ExperimentSpec(
+        name="smoke",
+        grids=(GridSpec(protocols=("det-sqrt", "det-logn"),
+                        adversaries=("adaptive",),
+                        ns=(16,), alphas=(0.0, 1 / 16, 0.4),
+                        bandwidths=(16,)),),
+        replicates=2,
+    )

@@ -1,0 +1,68 @@
+"""Plain-text rendering of campaign results (the CLI ``report`` view)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.experiments.aggregate import (CellStats, ThresholdEstimate,
+                                         aggregate, estimate_thresholds)
+
+
+def _table(header: List[str], rows: List[List[str]]) -> str:
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(header)]
+    def fmt(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_cells(cells: Iterable[CellStats]) -> str:
+    """One line per aggregated grid cell."""
+    rows = []
+    for c in cells:
+        if c.supported:
+            acc = f"{c.accuracy.mean:.4%}"
+            if c.accuracy.ci95 > 0:
+                acc += f" ±{c.accuracy.ci95:.2%}"
+            rounds = f"{c.rounds.mean:.1f}"
+            bits = f"{c.bits.mean:,.0f}"
+        else:
+            acc, rounds, bits = "—", "—", "—"
+        status = "ok" if c.errors == 0 and c.unsupported == 0 else (
+            f"{c.unsupported} unsupported" if c.unsupported else
+            f"{c.errors} errors")
+        rows.append([c.protocol, c.adversary, str(c.n), f"{c.alpha:.5f}",
+                     str(c.bandwidth), str(c.trials), acc, rounds, bits,
+                     status])
+    return _table(["protocol", "adversary", "n", "alpha", "B", "trials",
+                   "accuracy", "rounds", "bits", "status"], rows)
+
+
+def render_thresholds(estimates: Iterable[ThresholdEstimate]) -> str:
+    """One line per (protocol, adversary, n) series."""
+    rows = []
+    for est in estimates:
+        best = est.best_cell
+        failing = est.first_failure_alpha
+        rows.append([
+            est.protocol, est.adversary, str(est.n), str(est.bandwidth),
+            f"{est.max_alpha:.5f}",
+            f"{best.rounds.mean:.1f}" if best else "—",
+            f"{best.accuracy.mean:.4%}" if best else "—",
+            f"{failing:.5f}" if failing is not None else "—",
+        ])
+    return _table(["protocol", "adversary", "n", "B", "max alpha", "rounds",
+                   "accuracy", "first failing alpha"], rows)
+
+
+def render_report(rows: Iterable[dict], accuracy_bar: float = 1.0) -> str:
+    """Full report: cell table + threshold table from raw result rows."""
+    cells = aggregate(rows)
+    if not cells:
+        return "(no completed trials)"
+    estimates = estimate_thresholds(cells, accuracy_bar=accuracy_bar)
+    return (f"{len(cells)} cells\n\n{render_cells(cells)}\n\n"
+            f"resilience thresholds (accuracy bar {accuracy_bar:.2%})\n\n"
+            f"{render_thresholds(estimates)}")

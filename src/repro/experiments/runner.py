@@ -1,0 +1,210 @@
+"""Parallel, resumable campaign execution.
+
+``run_campaign`` expands an :class:`ExperimentSpec` into trials, skips the
+ones the store already holds, and executes the rest — inline for
+``jobs=1``, or across a :class:`~concurrent.futures.ProcessPoolExecutor`
+with chunked dispatch for ``jobs>1``.  Because every trial's seeds are
+derived from its own coordinates (see :mod:`repro.experiments.spec`), the
+result set is identical for any job count and any dispatch order.
+
+Failure containment: a trial whose configuration violates the analysis'
+inequalities (:class:`~repro.core.profiles.ProfileError`) records an
+``unsupported`` row; a trial that crashes for any other reason records an
+``error`` row carrying the traceback.  Neither kills the campaign — the
+store always reflects every attempted coordinate, and a later ``resume``
+will not re-run them.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.experiments.spec import ExperimentSpec, TrialSpec
+from repro.experiments.store import TrialStore
+
+#: result-row status values
+STATUS_OK = "ok"
+STATUS_UNSUPPORTED = "unsupported"   # ProfileError: outside the proof regime
+STATUS_ERROR = "error"               # crash: bug or bad configuration
+
+
+def make_adversary(kind: str, alpha: float, seed: int):
+    """Resolve an adversary *name* (the declarative form used by specs)."""
+    from repro.adversary import (AdaptiveAdversary, NonAdaptiveAdversary,
+                                 NullAdversary, SlidingWindowAdversary,
+                                 TargetedAdaptiveAdversary)
+    if kind == "null" or alpha <= 0:
+        return NullAdversary()
+    if kind == "adaptive":
+        return AdaptiveAdversary(alpha, seed=seed)
+    if kind == "nonadaptive":
+        return NonAdaptiveAdversary(alpha, seed=seed)
+    if kind == "sliding-window":
+        return SlidingWindowAdversary(alpha, seed=seed)
+    if kind == "targeted":
+        return TargetedAdaptiveAdversary(alpha, victims=(0,), seed=seed)
+    raise ValueError(f"unknown adversary kind {kind!r}; known: "
+                     f"{sorted(ADVERSARIES)}")
+
+
+#: declarative adversary catalog (name -> short description)
+ADVERSARIES = {
+    "null": "no corruption (fault-free clique)",
+    "adaptive": "rushing greedy payload-seeking adversary",
+    "nonadaptive": "fault schedule fixed before round 0",
+    "sliding-window": "mobile window sweeping the id space",
+    "targeted": "budget concentrated on victim node 0",
+}
+
+
+def run_single(trial: TrialSpec,
+               protocol_factory: Optional[Callable] = None,
+               adversary_factory: Optional[Callable] = None):
+    """Execute one trial; return ``(row, report_or_None)``.
+
+    The optional factories let in-process callers (the sweep wrappers)
+    inject arbitrary protocol/adversary objects while reusing the trial
+    bookkeeping; the parallel path always resolves by name so trials stay
+    picklable.
+    """
+    from repro.core.alltoall import make_protocol, run_protocol
+    from repro.core.messages import AllToAllInstance
+    from repro.core.profiles import ProfileError
+
+    base = {"hash": trial.content_hash(), "trial": trial.to_dict()}
+    try:
+        protocol = (protocol_factory() if protocol_factory is not None
+                    else make_protocol(trial.protocol))
+        adversary = (adversary_factory(trial) if adversary_factory is not None
+                     else make_adversary(trial.adversary, trial.alpha,
+                                         trial.adversary_seed))
+        instance = AllToAllInstance.random(trial.n, width=trial.width,
+                                           seed=trial.instance_seed)
+        report = run_protocol(protocol, instance, adversary,
+                              bandwidth=trial.bandwidth,
+                              seed=trial.protocol_seed)
+    except ProfileError as exc:
+        row = dict(base, status=STATUS_UNSUPPORTED, reason=str(exc))
+        return row, None
+    except Exception as exc:  # noqa: BLE001 — containment is the contract
+        row = dict(base, status=STATUS_ERROR, reason=repr(exc),
+                   traceback=traceback.format_exc())
+        return row, None
+    row = dict(
+        base,
+        status=STATUS_OK,
+        rounds=report.rounds,
+        bits_sent=report.bits_sent,
+        accuracy=report.accuracy,
+        correct_entries=report.correct_entries,
+        total_entries=report.total_entries,
+        entries_corrupted=report.entries_corrupted_in_transit,
+    )
+    return row, report
+
+
+def execute_trial(trial_dict: Dict) -> Dict:
+    """Picklable worker unit: trial dict in, result row out."""
+    row, _ = run_single(TrialSpec.from_dict(trial_dict))
+    return row
+
+
+def _execute_chunk(trial_dicts: List[Dict]) -> List[Dict]:
+    """Worker entry point: run a chunk of trials in one process hop."""
+    return [execute_trial(d) for d in trial_dicts]
+
+
+@dataclass
+class CampaignResult:
+    """What ``run_campaign`` hands back: the spec, the store, and counters."""
+
+    spec: ExperimentSpec
+    store: TrialStore
+    executed: int = 0
+    cached: int = 0
+    errors: int = 0
+    unsupported: int = 0
+    trials: List[TrialSpec] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.trials)
+
+    def rows(self) -> List[Dict]:
+        return self.store.rows_for(self.trials)
+
+    def __str__(self) -> str:
+        return (f"campaign {self.spec.name!r}: {self.total} trials "
+                f"({self.executed} executed, {self.cached} cached, "
+                f"{self.unsupported} unsupported, {self.errors} errors)")
+
+
+def _chunked(items: List, size: int) -> List[List]:
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def run_campaign(spec: ExperimentSpec,
+                 store: Union[TrialStore, str, None] = None,
+                 jobs: int = 1,
+                 resume: bool = False,
+                 progress: Optional[Callable[[int, int, Dict], None]] = None,
+                 chunks_per_job: int = 4) -> CampaignResult:
+    """Execute every trial of ``spec`` not already in ``store``.
+
+    ``resume=False`` re-executes all trials (overwriting their store rows);
+    ``resume=True`` serves completed trials from the store and only runs
+    the missing ones — plus any whose stored row is an ``error``, since a
+    crash may be transient and the row records a failure, not a result
+    (``unsupported`` rows are deterministic verdicts and stay cached).
+    ``progress(done, total, row)`` is called after every trial completion;
+    cached trials are reported via the returned counters instead.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    if not isinstance(store, TrialStore):
+        store = TrialStore(store)
+
+    trials = spec.trials()
+    result = CampaignResult(spec=spec, store=store, trials=trials)
+    store.append({"hash": f"campaign:{spec.name}", "kind": "campaign",
+                  "spec": spec.to_dict()})
+    if resume:
+        def needs_run(trial: TrialSpec) -> bool:
+            row = store.get(trial)
+            return row is None or row["status"] == STATUS_ERROR
+        pending = [t for t in trials if needs_run(t)]
+        result.cached = len(trials) - len(pending)
+    else:
+        pending = list(trials)
+
+    done = 0
+    total = len(pending)
+
+    def record(row: Dict) -> None:
+        nonlocal done
+        store.append(row)
+        done += 1
+        result.executed += 1
+        if row["status"] == STATUS_ERROR:
+            result.errors += 1
+        elif row["status"] == STATUS_UNSUPPORTED:
+            result.unsupported += 1
+        if progress is not None:
+            progress(done, total, row)
+
+    if jobs == 1 or len(pending) <= 1:
+        for trial in pending:
+            record(execute_trial(trial.to_dict()))
+        return result
+
+    chunk_size = max(1, -(-len(pending) // (jobs * chunks_per_job)))
+    chunks = _chunked([t.to_dict() for t in pending], chunk_size)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(_execute_chunk, chunk) for chunk in chunks]
+        for future in as_completed(futures):
+            for row in future.result():
+                record(row)
+    return result

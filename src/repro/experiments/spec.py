@@ -1,0 +1,239 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` describes a *campaign*: one or more cross-product
+grids of protocol × adversary × n × alpha × width × bandwidth, replicated
+``replicates`` times.  Expanding a spec yields :class:`TrialSpec` objects —
+the atomic unit of measurement, one ``run_protocol`` execution.
+
+Everything here is JSON-serializable and free of callables, so a campaign
+can be written to disk, shipped to a worker process, or hashed.  Trial seeds
+are *derived*, not enumerated: each trial's instance/adversary/protocol
+seeds come from :func:`repro.utils.rng.derive_seed` applied to the campaign
+base seed and the trial's identity string, so results are reproducible and
+independent of execution order (a prerequisite for parallel dispatch and
+resume).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+#: identity fields, in canonical order, that define a trial (and its hash)
+TRIAL_FIELDS = ("protocol", "adversary", "n", "alpha", "width",
+                "bandwidth", "replicate", "base_seed")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One protocol execution: the coordinates of a single measurement."""
+
+    protocol: str
+    adversary: str
+    n: int
+    alpha: float
+    width: int = 1
+    bandwidth: int = 32
+    replicate: int = 0
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError("n must be at least 2")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.width < 1 or self.bandwidth < 1:
+            raise ValueError("width and bandwidth must be positive")
+        if self.replicate < 0:
+            raise ValueError("replicate must be non-negative")
+
+    # -- identity ------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {name: getattr(self, name) for name in TRIAL_FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TrialSpec":
+        return cls(**{name: data[name] for name in TRIAL_FIELDS})
+
+    def key(self) -> str:
+        """Canonical identity string (stable across processes/platforms)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """Content address of this trial — the artifact-store key."""
+        return hashlib.sha256(self.key().encode()).hexdigest()[:24]
+
+    # -- derived seeds -------------------------------------------------------
+    def derived_seed(self, role: str) -> int:
+        from repro.utils.rng import derive_seed
+        return derive_seed(self.base_seed, f"trial:{self.key()}:{role}")
+
+    @property
+    def instance_seed(self) -> int:
+        return self.derived_seed("instance")
+
+    @property
+    def adversary_seed(self) -> int:
+        return self.derived_seed("adversary")
+
+    @property
+    def protocol_seed(self) -> int:
+        return self.derived_seed("protocol")
+
+    @property
+    def cell(self) -> Tuple:
+        """Aggregation cell: identity minus the replicate axis."""
+        return (self.protocol, self.adversary, self.n, self.alpha,
+                self.width, self.bandwidth)
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """One cross-product block of trial coordinates."""
+
+    protocols: Tuple[str, ...]
+    adversaries: Tuple[str, ...]
+    ns: Tuple[int, ...]
+    alphas: Tuple[float, ...]
+    widths: Tuple[int, ...] = (1,)
+    bandwidths: Tuple[int, ...] = (32,)
+
+    def __post_init__(self) -> None:
+        # normalise any sequence input to tuples so specs hash/compare cleanly
+        for name in ("protocols", "adversaries", "ns", "alphas",
+                     "widths", "bandwidths"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+            if not getattr(self, name):
+                raise ValueError(f"grid axis {name!r} must be non-empty")
+
+    def size(self, replicates: int = 1) -> int:
+        return (len(self.protocols) * len(self.adversaries) * len(self.ns)
+                * len(self.alphas) * len(self.widths) * len(self.bandwidths)
+                * replicates)
+
+    def trials(self, replicates: int, base_seed: int) -> Iterator[TrialSpec]:
+        for protocol in self.protocols:
+            for adversary in self.adversaries:
+                for n in self.ns:
+                    for alpha in self.alphas:
+                        for width in self.widths:
+                            for bandwidth in self.bandwidths:
+                                for replicate in range(replicates):
+                                    yield TrialSpec(
+                                        protocol=protocol,
+                                        adversary=adversary,
+                                        n=int(n), alpha=float(alpha),
+                                        width=int(width),
+                                        bandwidth=int(bandwidth),
+                                        replicate=replicate,
+                                        base_seed=base_seed)
+
+    def to_dict(self) -> Dict:
+        return {k: list(v) for k, v in asdict(self).items()}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "GridSpec":
+        return cls(
+            protocols=tuple(data["protocols"]),
+            adversaries=tuple(data["adversaries"]),
+            ns=tuple(int(x) for x in data["ns"]),
+            alphas=tuple(float(x) for x in data["alphas"]),
+            widths=tuple(int(x) for x in data.get("widths", (1,))),
+            bandwidths=tuple(int(x) for x in data.get("bandwidths", (32,))),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named campaign: grids + replication + seed + success bar."""
+
+    name: str
+    grids: Tuple[GridSpec, ...]
+    replicates: int = 1
+    base_seed: int = 0
+    accuracy_bar: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.grids, tuple):
+            object.__setattr__(self, "grids", tuple(self.grids))
+        if not self.grids:
+            raise ValueError("a campaign needs at least one grid")
+        if self.replicates < 1:
+            raise ValueError("replicates must be at least 1")
+        if not 0.0 <= self.accuracy_bar <= 1.0:
+            raise ValueError("accuracy_bar must be in [0, 1]")
+
+    def with_overrides(self, replicates: int = None, base_seed: int = None,
+                       accuracy_bar: float = None) -> "ExperimentSpec":
+        changes = {}
+        if replicates is not None:
+            changes["replicates"] = replicates
+        if base_seed is not None:
+            changes["base_seed"] = base_seed
+        if accuracy_bar is not None:
+            changes["accuracy_bar"] = accuracy_bar
+        return replace(self, **changes) if changes else self
+
+    def trials(self) -> List[TrialSpec]:
+        """Expand to the full deduplicated trial list (stable order)."""
+        seen = set()
+        out: List[TrialSpec] = []
+        for grid in self.grids:
+            for trial in grid.trials(self.replicates, self.base_seed):
+                digest = trial.content_hash()
+                if digest not in seen:
+                    seen.add(digest)
+                    out.append(trial)
+        return out
+
+    def size(self) -> int:
+        return len(self.trials())
+
+    # -- serialisation -------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "grids": [grid.to_dict() for grid in self.grids],
+            "replicates": self.replicates,
+            "base_seed": self.base_seed,
+            "accuracy_bar": self.accuracy_bar,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentSpec":
+        return cls(
+            name=data["name"],
+            grids=tuple(GridSpec.from_dict(g) for g in data["grids"]),
+            replicates=int(data.get("replicates", 1)),
+            base_seed=int(data.get("base_seed", 0)),
+            accuracy_bar=float(data.get("accuracy_bar", 1.0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def free_grid(name: str = "custom",
+              protocols: Sequence[str] = ("det-sqrt",),
+              adversaries: Sequence[str] = ("adaptive",),
+              ns: Sequence[int] = (64,),
+              alphas: Sequence[float] = (1 / 32,),
+              widths: Sequence[int] = (1,),
+              bandwidths: Sequence[int] = (32,),
+              replicates: int = 1,
+              base_seed: int = 0,
+              accuracy_bar: float = 1.0) -> ExperimentSpec:
+    """One-grid campaign constructor — the free-form entry point."""
+    grid = GridSpec(protocols=tuple(protocols), adversaries=tuple(adversaries),
+                    ns=tuple(ns), alphas=tuple(alphas), widths=tuple(widths),
+                    bandwidths=tuple(bandwidths))
+    return ExperimentSpec(name=name, grids=(grid,), replicates=replicates,
+                          base_seed=base_seed, accuracy_bar=accuracy_bar)

@@ -1,0 +1,120 @@
+"""Content-addressed JSONL artifact store for trial results.
+
+One line per completed trial::
+
+    {"hash": "...", "trial": {...}, "status": "ok", "rounds": 12, ...}
+
+The key is :meth:`TrialSpec.content_hash` — a digest of the trial's full
+coordinate tuple (protocol, adversary, n, alpha, width, bandwidth,
+replicate, base_seed).  Because the key is content-derived:
+
+* re-running a campaign against the same store is *transparent caching* —
+  completed trials are served from disk, only missing ones execute;
+* two campaigns that share cells share work;
+* a store can be concatenated from shards (last write wins on duplicates).
+
+Appends are flushed line-by-line, so a killed campaign loses at most the
+trials in flight; a truncated final line (the crash case) is skipped on
+load rather than poisoning the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.experiments.spec import TrialSpec
+
+
+class TrialStore:
+    """JSONL-backed map from trial content hash to result row.
+
+    ``path=None`` gives a pure in-memory store (the benchmarks and unit
+    tests use this; the CLI always passes a path).
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._rows: Dict[str, Dict] = {}
+        self._handle = None
+        if path is not None and os.path.exists(path):
+            self._load()
+
+    # -- reading -------------------------------------------------------------
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from an interrupted run
+                if isinstance(row, dict) and "hash" in row:
+                    self._rows[row["hash"]] = row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, trial) -> bool:
+        return self._hash_of(trial) in self._rows
+
+    @staticmethod
+    def _hash_of(trial) -> str:
+        if isinstance(trial, TrialSpec):
+            return trial.content_hash()
+        return str(trial)
+
+    def get(self, trial) -> Optional[Dict]:
+        return self._rows.get(self._hash_of(trial))
+
+    def rows(self) -> List[Dict]:
+        return list(self._rows.values())
+
+    def completed_hashes(self) -> set:
+        return set(self._rows)
+
+    def rows_for(self, trials: Iterable[TrialSpec]) -> List[Dict]:
+        """Rows for exactly the given trials, in the given order (missing
+        trials are skipped) — how a campaign reads back its own results."""
+        out = []
+        for trial in trials:
+            row = self._rows.get(trial.content_hash())
+            if row is not None:
+                out.append(row)
+        return out
+
+    # -- writing -------------------------------------------------------------
+    def append(self, row: Dict) -> None:
+        if "hash" not in row:
+            raise ValueError("result row must carry its trial hash")
+        self._rows[row["hash"]] = row
+        if self.path is not None:
+            if self._handle is None:
+                directory = os.path.dirname(self.path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(json.dumps(row, sort_keys=True) + "\n")
+            self._handle.flush()
+
+    def extend(self, rows: Iterable[Dict]) -> None:
+        for row in rows:
+            self.append(row)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TrialStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        where = self.path if self.path is not None else "memory"
+        return f"TrialStore({where!r}, rows={len(self)})"

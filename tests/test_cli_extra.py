@@ -17,6 +17,49 @@ class TestTable1Command:
         assert status in (0, 1)
 
 
+class TestExperimentCommands:
+    def test_list(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "smoke" in out and "adaptive" in out
+
+    def test_run_report_resume_cycle(self, tmp_path, capsys):
+        store = str(tmp_path / "tiny.jsonl")
+        spec_file = tmp_path / "tiny.json"
+        from repro.experiments import free_grid
+        spec_file.write_text(free_grid(
+            name="tiny", protocols=("det-sqrt",), adversaries=("adaptive",),
+            ns=(16,), alphas=(0.0, 1 / 16), bandwidths=(16,)).to_json())
+
+        status = main(["experiment", "run", "--spec", str(spec_file),
+                       "--store", store, "--quiet"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "2 trials (2 executed, 0 cached" in out
+
+        status = main(["experiment", "resume", "--spec", str(spec_file),
+                       "--store", store, "--quiet"])
+        assert status == 0
+        assert "(0 executed, 2 cached" in capsys.readouterr().out
+
+        status = main(["experiment", "report", "--store", store])
+        assert status == 0
+        assert "max alpha" in capsys.readouterr().out
+
+    def test_dump_spec(self, capsys):
+        status = main(["experiment", "run", "--campaign", "smoke",
+                       "--dump-spec"])
+        assert status == 0
+        import json
+        spec = json.loads(capsys.readouterr().out)
+        assert spec["name"] == "smoke"
+
+    def test_report_missing_store(self, tmp_path, capsys):
+        status = main(["experiment", "report",
+                       "--store", str(tmp_path / "none.jsonl")])
+        assert status == 1
+
+
 class TestSweepBounds:
     def test_zero_alpha_runs_fault_free(self, capsys):
         status = main(["sweep", "--protocol", "det-sqrt", "--n", "16",

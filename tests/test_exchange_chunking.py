@@ -1,0 +1,128 @@
+"""Chunk-splitting round-trips for ``CongestedClique.exchange`` and
+``exchange_bits``: payloads wider than the bandwidth are split into
+``ceil(width / B)`` rounds and reassembled bit-exactly, and an adversary
+corrupting individual chunks can only ever affect entries that cross its
+faulty edges."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.base import Adversary
+from repro.cliquesim.network import CongestedClique
+from repro.utils.rng import make_rng
+
+
+class FixedEdgesAdversary(Adversary):
+    """Corrupts a fixed symmetric edge set every round (within budget)."""
+
+    def __init__(self, alpha: float, edges, seed: int = 0):
+        super().__init__(alpha, seed=seed)
+        self.edges = [tuple(e) for e in edges]
+
+    def select_edges(self, view):
+        mask = np.zeros((self.n, self.n), dtype=bool)
+        for u, v in self.edges:
+            mask[u, v] = mask[v, u] = True
+        return mask
+
+    def corrupt(self, view, edges):
+        delivered = view.intended.copy()
+        mask = np.asarray(edges, dtype=bool)
+        # worst-case content attack for reassembly: flip every payload bit
+        # of every chunk crossing a faulty edge (and fabricate on silence)
+        high = (np.int64(1) << view.width) - 1
+        delivered[mask] = np.where(delivered[mask] >= 0,
+                                   delivered[mask] ^ high, high)
+        return delivered
+
+
+def wide_payloads(n: int, width: int, seed: int = 0) -> np.ndarray:
+    rng = make_rng(seed)
+    return rng.integers(0, np.int64(1) << width, size=(n, n), dtype=np.int64)
+
+
+class TestExchangeFaultFree:
+    @pytest.mark.parametrize("width,bandwidth", [(8, 3), (16, 5), (20, 20),
+                                                 (62, 7)])
+    def test_round_trip_bit_exact(self, width, bandwidth):
+        n = 8
+        net = CongestedClique(n, bandwidth=bandwidth)
+        intended = wide_payloads(n, width, seed=width)
+        got = net.exchange(intended, width=width)
+        assert np.array_equal(got, intended)
+        assert net.rounds_used == -(-width // bandwidth)
+
+    def test_absent_entries_stay_absent(self):
+        n = 6
+        net = CongestedClique(n, bandwidth=3)
+        intended = wide_payloads(n, 10, seed=3)
+        intended[1, 4] = -1
+        intended[2, :] = -1
+        got = net.exchange(intended, width=10)
+        assert got[1, 4] == -1
+        assert np.all(got[2, :][np.arange(n) != 2] == -1)
+        present = intended >= 0
+        assert np.array_equal(got[present], intended[present])
+
+    def test_exchange_bits_round_trip(self):
+        n = 6
+        width = 70  # wider than any int64 payload — the bit-tensor path
+        net = CongestedClique(n, bandwidth=16)
+        rng = make_rng(7)
+        bits = rng.integers(0, 2, size=(n, n, width)).astype(np.uint8)
+        present = np.ones((n, n), dtype=bool)
+        got = net.exchange_bits(bits, present)
+        assert np.array_equal(got, bits)
+        assert net.rounds_used == -(-width // 16)
+
+
+class TestExchangeUnderFaults:
+    N = 8
+    EDGES = [(0, 3), (5, 6)]
+    ALPHA = 1 / 4  # budget = 2 faulty edges per node at n=8
+
+    def faulty_mask(self):
+        mask = np.zeros((self.N, self.N), dtype=bool)
+        for u, v in self.EDGES:
+            mask[u, v] = mask[v, u] = True
+        return mask
+
+    def test_exchange_corruption_confined_to_faulty_edges(self):
+        net = CongestedClique(
+            self.N, bandwidth=3,
+            adversary=FixedEdgesAdversary(self.ALPHA, self.EDGES))
+        intended = wide_payloads(self.N, 9, seed=11)
+        got = net.exchange(intended, width=9)
+        mask = self.faulty_mask()
+        # every clean entry reassembles bit-exactly across all 3 chunks
+        assert np.array_equal(got[~mask], intended[~mask])
+        # the attack flips every chunk, so faulty entries must differ
+        assert np.all(got[mask] != intended[mask])
+
+    def test_exchange_bits_corruption_confined(self):
+        net = CongestedClique(
+            self.N, bandwidth=4,
+            adversary=FixedEdgesAdversary(self.ALPHA, self.EDGES))
+        rng = make_rng(13)
+        width = 22
+        bits = rng.integers(0, 2, size=(self.N, self.N, width)).astype(np.uint8)
+        got = net.exchange_bits(bits, np.ones((self.N, self.N), dtype=bool))
+        mask = self.faulty_mask()
+        assert np.array_equal(got[~mask], bits[~mask])
+        assert np.all(np.any(got[mask] != bits[mask], axis=-1))
+
+    def test_dropped_chunk_marks_entry_missing(self):
+        class DropChunkAdversary(FixedEdgesAdversary):
+            def corrupt(self, view, edges):
+                delivered = view.intended.copy()
+                delivered[np.asarray(edges, dtype=bool)] = -1  # silence
+                return delivered
+
+        net = CongestedClique(
+            self.N, bandwidth=3,
+            adversary=DropChunkAdversary(self.ALPHA, self.EDGES))
+        intended = wide_payloads(self.N, 9, seed=17)
+        got = net.exchange(intended, width=9)
+        mask = self.faulty_mask()
+        assert np.all(got[mask] == -1)
+        assert np.array_equal(got[~mask], intended[~mask])

@@ -19,6 +19,13 @@ PUBLIC_MODULES = [
     "repro.sketch",
     "repro.utils",
     "repro.cli",
+    "repro.experiments",
+    "repro.experiments.spec",
+    "repro.experiments.runner",
+    "repro.experiments.store",
+    "repro.experiments.aggregate",
+    "repro.experiments.registry",
+    "repro.experiments.report",
     "repro.cliquesim.trace",
     "repro.core.applications",
     "repro.core.bandwidth_reduction",
@@ -35,7 +42,8 @@ def test_module_imports_with_docstring(module_name):
 @pytest.mark.parametrize("module_name", [
     "repro.adversary", "repro.analysis", "repro.baseline",
     "repro.cliquesim", "repro.coding", "repro.core", "repro.coverfree",
-    "repro.fields", "repro.hashing", "repro.sketch", "repro.utils",
+    "repro.experiments", "repro.fields", "repro.hashing", "repro.sketch",
+    "repro.utils",
 ])
 def test_all_exports_resolve(module_name):
     module = importlib.import_module(module_name)
