@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``):
     python -m repro experiment resume --campaign table1
     python -m repro experiment report --store runs/table1.jsonl
     python -m repro experiment list
+    python -m repro bench --smoke --check
 """
 
 from __future__ import annotations
@@ -197,6 +198,45 @@ def cmd_experiment_report(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.perf import (SUITE_FILES, check_regression, load_baseline,
+                            run_suite, write_results)
+    suites = sorted(SUITE_FILES) if args.suite == "all" else [args.suite]
+    status = 0
+    for suite in suites:
+        baseline = load_baseline(suite, args.out_dir) if args.check else None
+        if args.check and baseline is None:
+            # a requested gate that cannot run must fail, not pass silently
+            print(f"[{suite}] --check requested but no committed baseline "
+                  f"({SUITE_FILES[suite]}) in {args.out_dir!r}")
+            status = 1
+
+        def progress(name, entry):
+            speed = entry.get("speedup")
+            tail = f"speedup {speed:>7.2f}x" if speed is not None else \
+                f"{entry['batched_items_per_sec']:.1f} {entry['unit']}/s"
+            print(f"  [{suite}] {name:<24} "
+                  f"{entry['batched_seconds'] * 1e3:>9.2f} ms  {tail}",
+                  flush=True)
+
+        print(f"suite {suite!r} ({'smoke' if args.smoke else 'full'} mode):")
+        results = run_suite(suite, smoke=args.smoke,
+                            progress=None if args.quiet else progress)
+        path = write_results(results, args.out_dir)
+        print(f"  -> {path}")
+        if baseline is not None:
+            failures = check_regression(baseline, results,
+                                        factor=args.check_factor)
+            for failure in failures:
+                print(f"  REGRESSION [{suite}] {failure}")
+            if failures:
+                status = 1
+            else:
+                print(f"  [{suite}] no regression vs committed baseline "
+                      f"(factor {args.check_factor})")
+    return status
+
+
 def cmd_experiment_list(args) -> int:
     from repro.experiments import ADVERSARIES, build_campaign, campaign_names
     print("registered campaigns:")
@@ -295,6 +335,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     elist = esub.add_parser("list", help="list campaigns and adversaries")
     elist.set_defaults(func=cmd_experiment_list)
+
+    bench = sub.add_parser(
+        "bench", help="payload-path microbenchmarks "
+        "(batched kernels vs frozen per-word references)")
+    bench.add_argument("--suite", choices=("coding", "network", "all"),
+                       default="all")
+    bench.add_argument("--smoke", action="store_true",
+                       help="small sizes for CI (seconds instead of minutes)")
+    bench.add_argument("--out-dir", default=".",
+                       help="directory holding the BENCH_*.json artifacts")
+    bench.add_argument("--check", action="store_true",
+                       help="fail if any speedup regressed more than "
+                            "--check-factor vs the committed baseline")
+    bench.add_argument("--check-factor", type=float, default=2.0)
+    bench.add_argument("--quiet", action="store_true")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

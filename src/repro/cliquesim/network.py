@@ -20,12 +20,17 @@ corrupted and never counted as communication.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.adversary.base import Adversary, NullAdversary, RoundOutcome, RoundView
 from repro.adversary.budget import validate_fault_set
+from repro.utils.bits import WORD_BITS, pack_bits, unpack_bits, words_per_width
+
+#: per-round payloads live in int64 matrices with -1 as "no message", so a
+#: single round can carry at most 62 bits per edge without sign trouble
+MAX_ROUND_WIDTH = 62
 
 
 class BandwidthViolation(Exception):
@@ -40,8 +45,9 @@ class CongestedClique:
                  record_full_history: bool = False):
         if n < 2:
             raise ValueError("need at least two nodes")
-        if bandwidth < 1:
-            raise ValueError("bandwidth must be at least 1 bit")
+        if not 1 <= bandwidth <= MAX_ROUND_WIDTH:
+            raise ValueError(
+                f"bandwidth must be in [1, {MAX_ROUND_WIDTH}] bits")
         self.n = n
         self.bandwidth = bandwidth
         self.adversary = adversary if adversary is not None else NullAdversary()
@@ -53,17 +59,15 @@ class CongestedClique:
         self.entries_corrupted = 0
 
     # -- core round ----------------------------------------------------------
-    def round(self, intended: np.ndarray, width: Optional[int] = None,
-              label: str = "") -> np.ndarray:
-        """Execute one synchronous round and return the delivered matrix."""
-        width = self.bandwidth if width is None else width
+    def _check_width(self, width: int) -> None:
         if width > self.bandwidth:
             raise BandwidthViolation(
                 f"round width {width} exceeds bandwidth {self.bandwidth}")
         if width < 1:
             raise ValueError("round width must be at least 1 bit")
-        intended = np.asarray(intended, dtype=np.int64)
-        if intended.shape != (self.n, self.n):
+
+    def _check_payload(self, intended: np.ndarray, width: int) -> None:
+        if intended.shape[-2:] != (self.n, self.n):
             raise ValueError(
                 f"payload matrix must be ({self.n}, {self.n}), "
                 f"got {intended.shape}")
@@ -71,6 +75,36 @@ class CongestedClique:
         if intended.min() < -1 or intended.max() >= high:
             raise BandwidthViolation(
                 f"payload values must be -1 or fit in {width} bits")
+
+    def _book_round(self, intended: np.ndarray, delivered: np.ndarray,
+                    edges: Optional[np.ndarray], width: int,
+                    label: str) -> None:
+        """Shared per-round accounting (history, round/bit/corruption
+        counters)."""
+        corrupted = 0 if edges is None \
+            else int(np.count_nonzero(delivered != intended))
+        self.history.append(RoundOutcome(
+            index=self.rounds_used,
+            width=width,
+            intended=intended if self.record_full_history else None,
+            delivered=delivered if self.record_full_history else None,
+            fault_edges=edges if self.record_full_history else None,
+            corrupted_entries=corrupted,
+            label=label,
+        ))
+        self.rounds_used += 1
+        sent_entries = (int(np.count_nonzero(intended >= 0))
+                        - int(np.count_nonzero(np.diag(intended) >= 0)))
+        self.bits_sent += width * sent_entries
+        self.entries_corrupted += corrupted
+
+    def round(self, intended: np.ndarray, width: Optional[int] = None,
+              label: str = "") -> np.ndarray:
+        """Execute one synchronous round and return the delivered matrix."""
+        width = self.bandwidth if width is None else width
+        self._check_width(width)
+        intended = np.asarray(intended, dtype=np.int64)
+        self._check_payload(intended, width)
 
         view = RoundView(index=self.rounds_used, width=width,
                          intended=intended.copy(), history=self.history,
@@ -81,29 +115,60 @@ class CongestedClique:
                               dtype=np.int64)
         if proposed.shape != intended.shape:
             raise ValueError("adversary returned a malformed delivery matrix")
+        high = np.int64(1) << width
         if proposed.min() < -1 or proposed.max() >= high:
             proposed = np.clip(proposed, -1, int(high) - 1)
         # clamp: only entries across faulty edges may change (both directions)
         delivered = np.where(edges, proposed, intended)
         np.fill_diagonal(delivered, np.diag(intended))
 
-        corrupted = int(np.count_nonzero(delivered != intended))
-        outcome = RoundOutcome(
-            index=self.rounds_used,
-            width=width,
-            intended=intended if self.record_full_history else None,
-            delivered=delivered if self.record_full_history else None,
-            fault_edges=edges if self.record_full_history else None,
-            corrupted_entries=corrupted,
-            label=label,
-        )
-        self.history.append(outcome)
-        self.rounds_used += 1
-        sent_entries = (int(np.count_nonzero(intended >= 0))
-                        - int(np.count_nonzero(np.diag(intended) >= 0)))
-        self.bits_sent += width * sent_entries
-        self.entries_corrupted += corrupted
+        self._book_round(intended, delivered, edges, width, label)
         return delivered
+
+    def round_many(self, intended_stack: np.ndarray,
+                   widths: Sequence[int],
+                   labels: Sequence[str]) -> np.ndarray:
+        """Execute ``len(widths)`` consecutive rounds from a pre-staged
+        ``(rounds, n, n)`` payload stack and return the delivered stack.
+
+        Semantically identical to calling :meth:`round` once per chunk — the
+        adversary still acts (and is budget-validated) round by round, the
+        history gains one entry per round, and counters advance the same way.
+        The fast path kicks in on the fault-free clique: payload validation
+        happens once over the whole stack and the adversary machinery is
+        skipped entirely, which is what makes wide ``exchange`` calls cheap.
+        """
+        intended_stack = np.asarray(intended_stack, dtype=np.int64)
+        count = len(widths)
+        if intended_stack.shape != (count, self.n, self.n):
+            raise ValueError(
+                f"expected payload stack ({count}, {self.n}, {self.n}), "
+                f"got {intended_stack.shape}")
+        if len(labels) != count:
+            raise ValueError("one label per round required")
+        if count == 0:
+            return intended_stack.copy()
+        if not self.fault_free():
+            return np.stack([
+                self.round(intended_stack[i], widths[i], labels[i])
+                for i in range(count)])
+        max_width = max(widths)
+        self._check_width(max_width)
+        for i, width in enumerate(widths):
+            self._check_width(width)
+            if width < max_width:
+                self._check_payload(intended_stack[i], width)
+        self._check_payload(intended_stack, max_width)
+        for i, width in enumerate(widths):
+            self._book_round(intended_stack[i], intended_stack[i], None,
+                             width, labels[i])
+        return intended_stack.copy()
+
+    @staticmethod
+    def _chunk_spans(width: int, bandwidth: int):
+        """(start, take) pairs splitting ``width`` bits into rounds."""
+        return [(start, min(bandwidth, width - start))
+                for start in range(0, width, bandwidth)]
 
     # -- helpers -------------------------------------------------------------
     def exchange(self, intended: np.ndarray, width: int,
@@ -117,58 +182,89 @@ class CongestedClique:
         intended = np.asarray(intended, dtype=np.int64)
         if width <= self.bandwidth:
             return self.round(intended, width, label)
-        chunks = []
-        missing = np.zeros((self.n, self.n), dtype=bool)
+        spans = self._chunk_spans(width, self.bandwidth)
         absent = intended < 0
-        shift = 0
-        part = 0
-        while shift < width:
-            take = min(self.bandwidth, width - shift)
-            chunk = (intended >> shift) & ((1 << take) - 1)
-            chunk = np.where(absent, -1, chunk)
-            got = self.round(chunk, take, label=f"{label}[chunk{part}]")
-            missing |= got < 0
-            chunks.append((np.where(got < 0, 0, got), shift))
-            shift += take
-            part += 1
-        out = np.zeros((self.n, self.n), dtype=np.int64)
-        for chunk, offset in chunks:
-            out |= chunk << offset
+        # stage every chunk with one shift/mask, then run the round stack
+        starts = np.array([s for s, _ in spans], dtype=np.int64)
+        masks = np.array([(np.int64(1) << t) - 1 for _, t in spans],
+                         dtype=np.int64)
+        chunks = (intended[None, :, :] >> starts[:, None, None]) \
+            & masks[:, None, None]
+        chunks[:, absent] = -1
+        got = self.round_many(
+            chunks, [t for _, t in spans],
+            [f"{label}[chunk{part}]" for part in range(len(spans))])
+        missing = (got < 0).any(axis=0)
+        out = np.bitwise_or.reduce(
+            np.where(got < 0, 0, got) << starts[:, None, None], axis=0)
         return np.where(missing, -1, out)
+
+    def exchange_words(self, words: np.ndarray, present: np.ndarray,
+                       width: int, label: str = "") -> np.ndarray:
+        """Send ``width``-bit payloads held as packed 64-bit word planes:
+        ``words[u, v, :]`` are the payload words u sends v (little-endian,
+        :func:`repro.utils.bits.pack_bits` layout) and ``present[u, v]``
+        gates sending.
+
+        Splits the width into ``ceil(width / B)`` rounds, each chunk lifted
+        out of the word planes with one shift/mask (no per-bit staging);
+        returns the delivered word tensor with dropped chunks zero-filled.
+        This is the transport primitive behind the wide scatter/answer steps
+        of the adaptive compiler, where per-edge payloads exceed 62 bits.
+        """
+        words = np.asarray(words, dtype=np.uint64)
+        present = np.asarray(present, dtype=bool)
+        n_words = words_per_width(width)
+        if words.ndim != 3 or words.shape[:2] != (self.n, self.n) \
+                or words.shape[2] < n_words:
+            raise ValueError(
+                f"expected shape ({self.n}, {self.n}, >={n_words})")
+        if width == 0:
+            return np.zeros_like(words)
+        spans = self._chunk_spans(width, self.bandwidth)
+        chunks = np.empty((len(spans), self.n, self.n), dtype=np.int64)
+        for part, (start, take) in enumerate(spans):
+            word, offset = divmod(start, WORD_BITS)
+            value = words[:, :, word] >> np.uint64(offset)
+            if offset + take > WORD_BITS:
+                value = value | (words[:, :, word + 1]
+                                 << np.uint64(WORD_BITS - offset))
+            value = value & np.uint64((1 << take) - 1)
+            chunks[part] = value.astype(np.int64)
+        chunks[:, ~present] = -1
+        got = self.round_many(
+            chunks, [t for _, t in spans],
+            [f"{label}[bits{start}]" for start, _ in spans])
+        got = np.where(got < 0, 0, got).astype(np.uint64)
+        out = np.zeros_like(words)
+        for part, (start, take) in enumerate(spans):
+            word, offset = divmod(start, WORD_BITS)
+            out[:, :, word] |= got[part] << np.uint64(offset)
+            if offset + take > WORD_BITS:
+                out[:, :, word + 1] |= got[part] >> np.uint64(
+                    WORD_BITS - offset)
+        return out
 
     def exchange_bits(self, bits: np.ndarray, present: np.ndarray,
                       label: str = "") -> np.ndarray:
         """Send an arbitrary-width bit tensor: ``bits[u, v, :]`` are the
         payload bits u sends v (``present[u, v]`` gates sending).
 
-        Splits the width into ``ceil(width / B)`` rounds; returns the
-        delivered bit tensor with dropped chunks zero-filled.  This is the
-        primitive behind the wide scatter/answer steps of the adaptive
-        compiler, where per-edge payloads exceed 62 bits.
+        Boundary adapter over :meth:`exchange_words`: packs the tensor into
+        64-bit word planes once, moves the packed planes, and unpacks once.
+        Callers that already hold packed words should use
+        :meth:`exchange_words` directly.
         """
         bits = np.asarray(bits, dtype=np.uint8)
         present = np.asarray(present, dtype=bool)
         if bits.ndim != 3 or bits.shape[:2] != (self.n, self.n):
             raise ValueError(f"expected shape ({self.n}, {self.n}, width)")
         width = bits.shape[2]
-        out = np.zeros_like(bits)
-        weights = {}
-        for start in range(0, width, self.bandwidth):
-            take = min(self.bandwidth, width - start)
-            if take not in weights:
-                weights[take] = (np.int64(1)
-                                 << np.arange(take, dtype=np.int64))
-            w = weights[take]
-            chunk = (bits[:, :, start:start + take].astype(np.int64)
-                     * w[None, None, :]).sum(axis=2)
-            intended = np.where(present, chunk, -1)
-            got = self.round(intended, width=take,
-                             label=f"{label}[bits{start}]")
-            got = np.where(got < 0, 0, got)
-            out[:, :, start:start + take] = \
-                ((got[:, :, None] >> np.arange(take)[None, None, :]) & 1
-                 ).astype(np.uint8)
-        return out
+        delivered = self.exchange_words(pack_bits(bits), present, width,
+                                        label=label)
+        if width == 0:
+            return np.zeros_like(bits)
+        return unpack_bits(delivered, width)
 
     def fault_free(self) -> bool:
         return isinstance(self.adversary, NullAdversary)

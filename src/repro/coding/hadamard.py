@@ -44,9 +44,17 @@ class HadamardLDC(LocallyDecodableCode):
         message = np.asarray(message, dtype=np.int64)
         if message.shape != (self.k,):
             raise ValueError(f"expected {self.k} message bits")
+        return self.encode_many(message[None, :])[0]
+
+    def encode_many(self, messages: np.ndarray) -> np.ndarray:
+        """Encode a (count, k) bit matrix into (count, 2^k) codewords with
+        one GF(2) matrix product (the generator is the all-subsets matrix)."""
+        messages = np.asarray(messages, dtype=np.int64)
+        if messages.ndim != 2 or messages.shape[1] != self.k:
+            raise ValueError(f"expected shape (*, {self.k})")
         ys = np.arange(self.n, dtype=np.int64)
-        bits = (ys[:, None] >> np.arange(self.k)[None, :]) & 1
-        return (bits * message[None, :]).sum(axis=1) % 2
+        generator = (ys[:, None] >> np.arange(self.k)[None, :]) & 1
+        return (messages @ generator.T) % 2
 
     def decode_indices(self, index: int, seed: int) -> np.ndarray:
         if not 0 <= index < self.k:

@@ -54,8 +54,15 @@ class BinaryCode(abc.ABC):
         """Number of bit errors guaranteed correctable."""
         return int(np.ceil(self.relative_distance * self.n / 2)) - 1
 
-    # -- batch interfaces (protocols move thousands of codewords per run; the
-    #    concrete codes override these with vectorised implementations) ------
+    # -- batch interfaces: the PRIMARY codec contract.  Protocols move n^2
+    #    codewords per step, so every concrete code overrides these with
+    #    vectorised kernels; the base implementations below are the per-word
+    #    reference semantics (and what the perf suite benchmarks against).
+    #    Contract: `encode_many`/`decode_many_flagged` must agree bit-for-bit
+    #    with per-word `encode`/`decode`, with a row's failure flag set
+    #    exactly when `decode` would raise DecodingFailure (the row content
+    #    is then all-zero).  tests/test_codec_parity.py enforces this for
+    #    every shipped code. ---------------------------------------------------
     def encode_many(self, messages: np.ndarray) -> np.ndarray:
         """Encode rows of a (count, k) bit matrix into (count, n)."""
         messages = np.asarray(messages, dtype=np.uint8)
@@ -65,14 +72,17 @@ class BinaryCode(abc.ABC):
     def decode_many(self, received: np.ndarray) -> np.ndarray:
         """Decode rows of a (count, n) bit matrix into (count, k).
 
-        Rows that fail unique decoding come back as all-zero (callers that
-        need failure flags use :meth:`decode_many_flagged`).
+        .. warning:: rows that fail unique decoding come back as all-zero,
+           indistinguishable from a decoded zero message.  Every transport
+           call site uses :meth:`decode_many_flagged` instead so corruption
+           cannot masquerade as data; this wrapper exists only for callers
+           that have already established the batch is failure-free.
         """
         return self.decode_many_flagged(received)[0]
 
     def decode_many_flagged(self, received: np.ndarray):
         """Like :meth:`decode_many` but also returns a boolean failure
-        vector."""
+        vector — the form all protocol layers consume."""
         received = np.asarray(received, dtype=np.uint8)
         count = received.shape[0]
         out = np.zeros((count, self.k), dtype=np.uint8)

@@ -221,6 +221,15 @@ class ReedMullerLDC(LocallyDecodableCode):
         coeffs = self.field.matmul(self._interp_inv, message)
         return self.field.matmul(self._eval_matrix, coeffs)
 
+    def encode_many(self, messages: np.ndarray) -> np.ndarray:
+        """Encode a (count, k) symbol matrix into (count, n) codewords with
+        two batched matrix products (interpolate, then evaluate)."""
+        messages = np.asarray(messages, dtype=np.int64) % self.p
+        if messages.ndim != 2 or messages.shape[1] != self.k:
+            raise ValueError(f"expected shape (*, {self.k})")
+        coeffs = self.field.matmul(messages, self._interp_inv.T)
+        return self.field.matmul(coeffs, self._eval_matrix.T)
+
     def _line_direction(self, index: int, seed: int) -> np.ndarray:
         rng = derive(seed, f"rm-line:{index}")
         while True:

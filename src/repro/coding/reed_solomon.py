@@ -32,28 +32,33 @@ class ReedSolomonCodec:
         self.n = n
         self.k = k
         self.t = (n - k) // 2
-        roots = [field.pow_alpha(i) for i in range(1, n - k + 1)]
+        roots = field.pow_alpha_many(np.arange(1, n - k + 1))
         self._generator_poly = field.poly_from_roots(roots)
-        # alpha^{-j} for every codeword position j (used by Chien search)
-        self._alpha_inv_positions = np.array(
-            [field.pow_alpha((-(j)) % (field.order - 1)) for j in range(n)],
-            dtype=np.int64)
-        self._alpha_positions = np.array(
-            [field.pow_alpha(j) for j in range(n)], dtype=np.int64)
-        # systematic parity matrix: parity(msg) = msg @ P over GF(2^m)
+        # alpha^{-j} / alpha^{j} for every codeword position j (Chien search)
+        self._alpha_inv_positions = field.pow_alpha_many(-np.arange(n))
+        self._alpha_positions = field.pow_alpha_many(np.arange(n))
+        # systematic parity matrix: parity(msg) = msg @ P over GF(2^m);
+        # row i is x^{n_parity + i} mod g, built by the shift-and-reduce
+        # recurrence r_{i+1} = (r_i * x) mod g (g is monic, so reduction is
+        # one vectorised scale of its low part) instead of one full encode
+        # per unit vector
         parity_width = n - k
+        g_low = self._generator_poly[:parity_width]
         parity = np.zeros((k, parity_width), dtype=np.int64)
-        for i in range(k):
-            unit = np.zeros(k, dtype=np.int64)
-            unit[i] = 1
-            parity[i] = self.encode(unit)[:parity_width]
+        remainder = g_low.copy()  # x^{n_parity} mod g, characteristic 2
+        parity[0] = remainder
+        for i in range(1, k):
+            top = int(remainder[-1])
+            shifted = np.zeros_like(remainder)
+            shifted[1:] = remainder[:-1]
+            if top:
+                shifted ^= field.mul(g_low, top)
+            remainder = shifted
+            parity[i] = remainder
         self._parity_matrix = parity
         # syndrome matrix: S_j = word @ SM[:, j-1], SM[i, j-1] = alpha^{j*i}
-        syndrome = np.zeros((n, parity_width), dtype=np.int64)
-        for j in range(1, parity_width + 1):
-            for i in range(n):
-                syndrome[i, j - 1] = field.pow_alpha(j * i)
-        self._syndrome_matrix = syndrome
+        self._syndrome_matrix = field.pow_alpha_many(
+            np.arange(n)[:, None] * np.arange(1, parity_width + 1)[None, :])
 
     @property
     def symbol_distance(self) -> int:
@@ -64,17 +69,7 @@ class ReedSolomonCodec:
         msg = np.asarray(message_symbols, dtype=np.int64)
         if msg.shape != (self.k,):
             raise ValueError(f"expected {self.k} message symbols, got {msg.shape}")
-        if msg.size and (msg.min() < 0 or msg.max() >= self.field.order):
-            raise ValueError("message symbols out of field range")
-        n_parity = self.n - self.k
-        shifted = np.concatenate(
-            [np.zeros(n_parity, dtype=np.int64), msg])
-        remainder = self.field.poly_mod(shifted, self._generator_poly)
-        remainder = np.concatenate(
-            [remainder, np.zeros(n_parity - len(remainder), dtype=np.int64)])
-        codeword = shifted.copy()
-        codeword[:n_parity] = remainder  # char 2: c = shifted + rem
-        return codeword
+        return self.encode_many(msg[None, :])[0]
 
     def decode(self, received: np.ndarray) -> np.ndarray:
         """Return the ``k`` message symbols; raises DecodingFailure if more
@@ -132,6 +127,9 @@ class ReedSolomonCodec:
         messages = np.asarray(messages, dtype=np.int64)
         if messages.ndim != 2 or messages.shape[1] != self.k:
             raise ValueError(f"expected shape (*, {self.k})")
+        if messages.size and (messages.min() < 0
+                              or messages.max() >= self.field.order):
+            raise ValueError("message symbols out of field range")
         parity = self.field.matmul(messages, self._parity_matrix)
         return np.concatenate([parity, messages], axis=1)
 
@@ -140,23 +138,96 @@ class ReedSolomonCodec:
         words = np.asarray(words, dtype=np.int64)
         return self.field.matmul(words, self._syndrome_matrix)
 
+    def _eval_many(self, coeffs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        """Evaluate polynomial row r of ``coeffs`` at every x in ``xs``:
+        a (rows, len(xs)) Horner sweep — one vectorised multiply-add per
+        coefficient column, shared by the batch Chien search and the batch
+        Forney step."""
+        field = self.field
+        out = np.zeros((coeffs.shape[0], xs.size), dtype=np.int64)
+        for c in range(coeffs.shape[1] - 1, -1, -1):
+            out = field.mul(out, xs[None, :]) ^ coeffs[:, c][:, None]
+        return out
+
+    def correct_many(self, words: np.ndarray):
+        """Batch bounded-distance correction of (count, n) words.
+
+        Returns ``(corrected, failed)``.  The pipeline is vectorised end to
+        end: batched syndromes, a zero-syndrome short-circuit, per-row
+        Berlekamp–Massey (a tiny scalar state machine) to get the error
+        locators, then batch Chien search, batch Forney evaluation and a
+        batched re-syndrome verification over all dirty rows at once.
+        Failed rows are returned unmodified with their flag set.
+        """
+        words = np.asarray(words, dtype=np.int64)
+        if words.ndim != 2 or words.shape[1] != self.n:
+            raise ValueError(f"expected shape (*, {self.n})")
+        count = words.shape[0]
+        corrected = words.copy()
+        failed = np.zeros(count, dtype=bool)
+        syndromes = self.syndromes_many(words)
+        dirty = np.flatnonzero(syndromes.any(axis=1))
+        if dirty.size == 0:
+            return corrected, failed
+        field = self.field
+        n_synd = self.n - self.k
+        synd = syndromes[dirty]
+
+        # error locators, one small scalar solve per dirty row
+        sigmas = np.zeros((dirty.size, self.t + 1), dtype=np.int64)
+        num_errors = np.zeros(dirty.size, dtype=np.int64)
+        ok = np.ones(dirty.size, dtype=bool)
+        for row in range(dirty.size):
+            sigma, length = self._berlekamp_massey(synd[row].tolist())
+            if length > self.t or np.any(sigma[self.t + 1:]):
+                ok[row] = False
+                continue
+            sigmas[row, :min(sigma.size, self.t + 1)] = \
+                sigma[:self.t + 1]
+            num_errors[row] = length
+
+        # batch Chien search: evaluate every locator at every position
+        evals = self._eval_many(sigmas, self._alpha_inv_positions)
+        err = (evals == 0)
+        ok &= err.sum(axis=1) == num_errors
+
+        # batch Forney: omega = S * sigma mod x^{2t}, sigma' formal derivative
+        omega = np.zeros((dirty.size, n_synd), dtype=np.int64)
+        for b in range(min(self.t, n_synd - 1) + 1):
+            omega[:, b:] ^= field.mul(sigmas[:, b][:, None],
+                                      synd[:, :n_synd - b])
+        deriv = sigmas[:, 1:].copy()
+        deriv[:, 1::2] = 0
+        if deriv.shape[1] == 0:
+            deriv = np.zeros((dirty.size, 1), dtype=np.int64)
+        omega_vals = self._eval_many(omega, self._alpha_inv_positions)
+        deriv_vals = self._eval_many(deriv, self._alpha_inv_positions)
+        ok &= ~np.any(err & (deriv_vals == 0), axis=1)  # Forney denominator
+        apply = err & ok[:, None]
+        magnitudes = field.mul(
+            omega_vals, field.inv(np.where(deriv_vals == 0, 1, deriv_vals)))
+        patched = words[dirty] ^ np.where(apply, magnitudes, 0)
+
+        # verify: all syndromes of every corrected word must vanish
+        ok &= ~self.field.matmul(patched, self._syndrome_matrix).any(axis=1)
+
+        good = dirty[ok]
+        corrected[good] = patched[ok]
+        failed[dirty[~ok]] = True
+        return corrected, failed
+
     def decode_many_flagged(self, words: np.ndarray):
         """Decode (count, n) words; returns ((count, k) messages, failed).
 
-        Fast path: words with all-zero syndromes decode by projection;
-        only corrupted words go through Berlekamp–Massey.
+        This is the *primary* decoding interface — the per-word
+        :meth:`decode` is the convenience wrapper.  Words with all-zero
+        syndromes decode by projection; corrupted words go through the
+        batched :meth:`correct_many` pipeline.  Failed rows come back
+        all-zero with their flag set.
         """
-        words = np.asarray(words, dtype=np.int64)
-        count = words.shape[0]
-        messages = words[:, self.n - self.k:].copy()
-        failed = np.zeros(count, dtype=bool)
-        dirty = np.flatnonzero(self.syndromes_many(words).any(axis=1))
-        for index in dirty:
-            try:
-                messages[index] = self.decode(words[index])
-            except DecodingFailure:
-                failed[index] = True
-                messages[index] = 0
+        corrected, failed = self.correct_many(words)
+        messages = corrected[:, self.n - self.k:].copy()
+        messages[failed] = 0
         return messages, failed
 
     def _berlekamp_massey(self, syndromes):
@@ -242,3 +313,29 @@ class ReedSolomonBinaryCode(BinaryCode):
         received = self._check_received(received)
         symbols = self.codec.decode(self._bits_to_symbols(received))
         return self._symbols_to_bits(symbols)
+
+    # -- batched paths (primary interface) ------------------------------------
+    def _rows_to_symbols(self, rows: np.ndarray, symbols: int) -> np.ndarray:
+        weights = (1 << np.arange(self.m, dtype=np.int64))
+        return (rows.reshape(rows.shape[0], symbols, self.m).astype(np.int64)
+                * weights[None, None, :]).sum(axis=2)
+
+    def _symbols_to_rows(self, symbols: np.ndarray) -> np.ndarray:
+        bits = ((symbols[:, :, None] >> np.arange(self.m)[None, None, :]) & 1)
+        return bits.astype(np.uint8).reshape(symbols.shape[0], -1)
+
+    def encode_many(self, messages: np.ndarray) -> np.ndarray:
+        messages = np.asarray(messages, dtype=np.uint8)
+        if messages.size == 0:
+            return np.zeros((0, self.n), dtype=np.uint8)
+        symbols = self._rows_to_symbols(messages, self.codec.k)
+        return self._symbols_to_rows(self.codec.encode_many(symbols))
+
+    def decode_many_flagged(self, received: np.ndarray):
+        received = np.asarray(received, dtype=np.uint8)
+        if received.size == 0:
+            return (np.zeros((0, self.k), dtype=np.uint8),
+                    np.zeros(received.shape[0], dtype=bool))
+        symbols = self._rows_to_symbols(received, self.codec.n)
+        decoded, failed = self.codec.decode_many_flagged(symbols)
+        return self._symbols_to_rows(decoded), failed

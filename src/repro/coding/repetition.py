@@ -36,3 +36,21 @@ class RepetitionCode(BinaryCode):
         blocks = received.reshape(self.k, self.repetitions)
         counts = blocks.sum(axis=1)
         return (counts * 2 > self.repetitions).astype(np.uint8)
+
+    # -- batched paths (primary interface) ------------------------------------
+    def encode_many(self, messages: np.ndarray) -> np.ndarray:
+        messages = np.asarray(messages, dtype=np.uint8)
+        if messages.size == 0:
+            return np.zeros((0, self.n), dtype=np.uint8)
+        return np.repeat(messages, self.repetitions, axis=1)
+
+    def decode_many_flagged(self, received: np.ndarray):
+        received = np.asarray(received, dtype=np.uint8)
+        count = received.shape[0]
+        if received.size == 0:
+            return (np.zeros((0, self.k), dtype=np.uint8),
+                    np.zeros(count, dtype=bool))
+        counts = received.reshape(count, self.k, self.repetitions) \
+            .astype(np.int64).sum(axis=2)
+        out = (counts * 2 > self.repetitions).astype(np.uint8)
+        return out, np.zeros(count, dtype=bool)

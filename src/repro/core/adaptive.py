@@ -48,7 +48,12 @@ from repro.cliquesim.topology import (
 from repro.coding.reed_muller import ReedMullerLDC, cached_reed_muller
 from repro.core.messages import AllToAllInstance
 from repro.core.profiles import ProfileError, ProtocolProfile, SIMULATION
-from repro.core.protocol import AllToAllProtocol, pack_block, unpack_block
+from repro.core.protocol import (
+    AllToAllProtocol,
+    pack_block,
+    unpack_block,
+    unpack_rows,
+)
 from repro.core.routing import SuperMessage, SuperMessageRouter, broadcast
 from repro.fields.gfp import is_prime
 from repro.sketch.ksparse import KSparseSketch, SketchRecoveryError, SketchSpec
@@ -237,19 +242,29 @@ class AdaptiveAllToAll(AllToAllProtocol):
         symbols_per_node = -(-ldc.n // n)
 
         # P_j[i] builds Sk(P_j, {v}) for each v in S_i from the *true*
-        # messages it received through the resilient routing
+        # messages it received through the resilient routing; each holder's
+        # group block unpacks in one batched call, the remaining loop is the
+        # sketch updates themselves
         sketch_bits = {}  # (j, v) -> t_pad bits
         for j in range(num_parts):
+            group = members[j].astype(np.int64)
             for i in range(part_size):
                 holder = int(members[j][i])
+                stacked = np.stack([routed.outputs[holder][(int(u), i)]
+                                    for u in members[j]])
+                # row per source u in P_j, column per target v in S_i
+                values_ji = unpack_rows(stacked, num_parts, width)
+                base = int(segments[i][0])
                 for v in segments[i]:
                     v = int(v)
                     sk = KSparseSketch(spec, r2)
-                    for row, u in enumerate(members[j]):
-                        bits = routed.outputs[holder][(int(u), i)]
-                        values = unpack_block(bits, num_parts, width)
-                        col = v - int(segments[i][0])
-                        element = (int(u) * n + v) * (1 << width) + int(values[col])
+                    # element ids exceed int64 once width + 2*log2(n) >= 63,
+                    # so this arithmetic must stay in Python ints (the
+                    # subtraction path in Step IV uses the same form)
+                    column = values_ji[:, v - base]
+                    for row, u in enumerate(group):
+                        element = ((int(u) * n + v) << width) \
+                            | int(column[row])
                         sk.add(element, 1)
                     raw = sk.to_bits()
                     padded = np.zeros(t_pad, dtype=np.uint8)
@@ -299,50 +314,51 @@ class AdaptiveAllToAll(AllToAllProtocol):
                 piece_data[key][offset:offset + t_symbols] = symbols
 
         # ===== Step III: LDC-encode pieces and scatter symbols ===============
-        codewords = {}
-        for key, message_symbols in piece_data.items():
-            codewords[key] = ldc.encode(message_symbols % ldc.p)
+        piece_keys = sorted(piece_data)
+        encoded = ldc.encode_many(
+            np.stack([piece_data[key] % ldc.p for key in piece_keys]))
+        codewords = {key: encoded[idx] for idx, key in enumerate(piece_keys)}
 
-        piece_keys = sorted(codewords)
         pieces_by_leader = {}
         for key in piece_keys:
             pieces_by_leader.setdefault(leader_of(key[0], key[1]), []).append(key)
         max_pieces = max(len(v) for v in pieces_by_leader.values())
         scatter_width = max_pieces * symbols_per_node * wire_bits
+        padded_symbols = symbols_per_node * n
 
         # bits[leader, r, :] = symbols of each of the leader's pieces at
-        # codeword positions s*n + r, wire_bits little-endian bits each
+        # codeword positions s*n + r, wire_bits little-endian bits each;
+        # one bit-expansion per piece (no per-symbol-slot loop)
         scatter_bits = np.zeros((n, n, scatter_width), dtype=np.uint8)
         scatter_present = np.zeros((n, n), dtype=bool)
         bit_weights = np.arange(wire_bits)
+        piece_span = symbols_per_node * wire_bits
         for leader, keys in pieces_by_leader.items():
             scatter_present[leader, :] = True
             for ki, key in enumerate(keys):
-                word = codewords[key]
-                for s in range(symbols_per_node):
-                    positions = s * n + np.arange(n)
-                    valid = positions < ldc.n
-                    symbols = np.zeros(n, dtype=np.int64)
-                    symbols[valid] = word[positions[valid]]
-                    offset = (ki * symbols_per_node + s) * wire_bits
-                    scatter_bits[leader, :, offset:offset + wire_bits] = \
-                        ((symbols[:, None] >> bit_weights[None, :]) & 1)
+                grid = np.zeros(padded_symbols, dtype=np.int64)
+                grid[:ldc.n] = codewords[key]
+                grid = grid.reshape(symbols_per_node, n)
+                block = ((grid[:, :, None] >> bit_weights[None, None, :]) & 1
+                         ).astype(np.uint8)          # (s, r, bit)
+                scatter_bits[leader, :,
+                             ki * piece_span:(ki + 1) * piece_span] = \
+                    block.transpose(1, 0, 2).reshape(n, piece_span)
         scattered = net.exchange_bits(scatter_bits, scatter_present,
                                       label="adaptive/scatter")
 
-        # node r's view of every codeword's symbols at positions s*n + r
-        shard = {}  # (key, position) -> value as seen by node r = position % n
+        # node r's view of codeword (j, piece) at positions s*n + r,
+        # assembled as one position-indexed array per codeword
+        shard_views = {}  # key -> (ldc.n,) symbol values across holders
+        sym_scale = (np.int64(1) << bit_weights)
         for leader, keys in pieces_by_leader.items():
             for ki, key in enumerate(keys):
-                for s in range(symbols_per_node):
-                    offset = (ki * symbols_per_node + s) * wire_bits
-                    chunk = scattered[leader, :, offset:offset + wire_bits]
-                    values = (chunk.astype(np.int64)
-                              * (1 << bit_weights)[None, :]).sum(axis=1)
-                    for r in range(n):
-                        position = s * n + r
-                        if position < ldc.n:
-                            shard[(key, position)] = int(values[r])
+                chunk = scattered[leader, :,
+                                  ki * piece_span:(ki + 1) * piece_span]
+                values = (chunk.reshape(n, symbols_per_node, wire_bits)
+                          .astype(np.int64)
+                          * sym_scale[None, None, :]).sum(axis=2)
+                shard_views[key] = values.T.reshape(-1)[:ldc.n].copy()
 
         # ===== Step III continued: R3 broadcast + query answering ============
         r3 = fresh_seed(protocol_rng)
@@ -360,6 +376,7 @@ class AdaptiveAllToAll(AllToAllProtocol):
 
         # v's needed (idx, position) pairs grouped by holder node
         needs_by_offset = {}
+        positions_by_offset = {}  # offset_slot -> {holder: position array}
         for offset_slot in range(sketches_per_piece):
             base = offset_slot * t_symbols
             by_holder = {}
@@ -368,27 +385,36 @@ class AdaptiveAllToAll(AllToAllProtocol):
                     by_holder.setdefault(int(position) % n, []).append(
                         (idx, int(position)))
             needs_by_offset[offset_slot] = by_holder
+            positions_by_offset[offset_slot] = {
+                holder: np.array([pos for _, pos in pairs], dtype=np.int64)
+                for holder, pairs in by_holder.items()}
         max_slots = max(len(pairs)
                         for by_holder in needs_by_offset.values()
                         for pairs in by_holder.values())
         answer_width = max_slots * num_parts * wire_bits
 
+        # every group's codeword of one piece, stacked for one-gather answers
+        piece_stacks = {
+            piece: np.stack([shard_views.get((j, piece),
+                                             np.zeros(ldc.n, dtype=np.int64))
+                             for j in range(num_parts)])
+            for piece in {piece_of(v) for v in range(n)}}
+
         # answers travel as one direct exchange: entry (r, v) packs, for each
         # of v's queried positions held by r and each group j, the shard value
-        # of codeword (j, piece_of(v)) at that position
+        # of codeword (j, piece_of(v)) at that position — slot-major, then
+        # group, wire_bits little-endian bits each, expanded in one shot
         answer_bits = np.zeros((n, n, answer_width), dtype=np.uint8)
         answer_present = np.zeros((n, n), dtype=bool)
         for v in range(n):
             offset_slot = v % sketches_per_piece
-            piece = piece_of(v)
-            for holder, pairs in needs_by_offset[offset_slot].items():
+            stack = piece_stacks[piece_of(v)]  # (num_parts, ldc.n)
+            for holder, positions in positions_by_offset[offset_slot].items():
                 answer_present[holder, v] = True
-                for s, (_, position) in enumerate(pairs):
-                    for j in range(num_parts):
-                        symbol = shard.get(((j, piece), position), 0)
-                        offset = (s * num_parts + j) * wire_bits
-                        for b in range(wire_bits):
-                            answer_bits[holder, v, offset + b] = (symbol >> b) & 1
+                symbols = stack[:, positions].T  # (num_slots, num_parts)
+                bits = ((symbols[:, :, None] >> bit_weights[None, None, :])
+                        & 1).astype(np.uint8)
+                answer_bits[holder, v, :bits.size] = bits.reshape(-1)
         answers = net.exchange_bits(answer_bits, answer_present,
                                     label="adaptive/answers")
 

@@ -20,7 +20,7 @@ from repro.cliquesim.network import CongestedClique
 from repro.cliquesim.topology import flip
 from repro.core.messages import AllToAllInstance
 from repro.core.profiles import ProtocolProfile, SIMULATION
-from repro.core.protocol import AllToAllProtocol, pack_block, unpack_block
+from repro.core.protocol import AllToAllProtocol, pack_rows, unpack_rows
 from repro.core.routing import SuperMessage, SuperMessageRouter
 
 
@@ -56,8 +56,10 @@ class DetLogAllToAll(AllToAllProtocol):
 
         for i in range(1, log_n + 1):
             bit = i - 1  # most significant first
-            messages = []
+            # every node holds the same (sources x targets) shape in an
+            # iteration, so the whole round packs/unpacks as one batch
             meta = {}
+            send_stack = []
             for u in range(n):
                 sources, targets, values = state[u]
                 half = targets.size // 2
@@ -66,27 +68,33 @@ class DetLogAllToAll(AllToAllProtocol):
                 partner = flip(u, bit, 1 - own_bit, n)
                 # u keeps the half matching its own bit and ships the other
                 if own_bit == 0:
-                    keep_t, send_t = lower_targets, upper_targets
-                    keep_vals, send_vals = values[:, :half], values[:, half:]
+                    keep_t, keep_vals = lower_targets, values[:, :half]
+                    send_vals = values[:, half:]
                 else:
-                    keep_t, send_t = upper_targets, lower_targets
-                    keep_vals, send_vals = values[:, half:], values[:, :half]
-                messages.append(SuperMessage.make(
-                    u, 0, pack_block(send_vals, width), [partner]))
+                    keep_t, keep_vals = upper_targets, values[:, half:]
+                    send_vals = values[:, :half]
+                send_stack.append(send_vals.reshape(-1))
                 meta[u] = (sources, keep_t, keep_vals, partner)
+            packed = pack_rows(np.stack(send_stack), width)
+            messages = [SuperMessage.make(u, 0, packed[u], [meta[u][3]])
+                        for u in range(n)]
             result = router.route(messages, label=f"det-logn/iter{i}")
 
+            received_stack = np.stack(
+                [result.outputs[u][(meta[u][3], 0)] for u in range(n)])
+            num_sources = state[0][0].size
+            num_keep = state[0][1].size // 2
+            received_all = unpack_rows(
+                received_stack, num_sources * num_keep, width
+            ).reshape(n, num_sources, num_keep)
             new_state = {}
             for u in range(n):
                 sources, keep_t, keep_vals, partner = meta[u]
                 partner_sources = meta[partner][0]
-                received_bits = result.outputs[u][(partner, 0)]
-                received = unpack_block(
-                    received_bits, partner_sources.size * keep_t.size,
-                    width).reshape(partner_sources.size, keep_t.size)
                 merged_sources = np.concatenate([sources, partner_sources])
                 order = np.argsort(merged_sources)
-                merged_values = np.concatenate([keep_vals, received], axis=0)
+                merged_values = np.concatenate(
+                    [keep_vals, received_all[u]], axis=0)
                 new_state[u] = (merged_sources[order], keep_t,
                                 merged_values[order])
             state = new_state

@@ -22,7 +22,12 @@ from repro.cliquesim.network import CongestedClique
 from repro.cliquesim.topology import sqrt_segments
 from repro.core.messages import AllToAllInstance
 from repro.core.profiles import ProtocolProfile, SIMULATION
-from repro.core.protocol import AllToAllProtocol, pack_block, unpack_block
+from repro.core.protocol import (
+    AllToAllProtocol,
+    pack_block,
+    pack_rows,
+    unpack_rows,
+)
 from repro.core.routing import SuperMessage, SuperMessageRouter
 
 
@@ -58,27 +63,26 @@ class DetSqrtAllToAll(AllToAllProtocol):
         result1 = router.route(step1, label="det-sqrt/step1")
 
         # S_i[j] reassembles its belief of M(S_i, S_j): one row per source in
-        # S_i (each arrived as the slot-j super-message of that source)
+        # S_i (each arrived as the slot-j super-message of that source);
+        # the whole segment's rows unpack in one batched call
         held = {}
         for i in range(root):
             for j in range(root):
                 holder = int(segments[i][j])
-                block = np.zeros((root, root), dtype=np.int64)
-                for row, v in enumerate(segments[i]):
-                    bits = result1.outputs[holder][(int(v), j)]
-                    block[row] = unpack_block(bits, root, width)
-                held[(i, j)] = block
+                stacked = np.stack([result1.outputs[holder][(int(v), j)]
+                                    for v in segments[i]])
+                held[(i, j)] = unpack_rows(stacked, root, width)
 
         # -- Step 2: S_i[j] sends M°(S_i, {S_j[l]}) to S_j[l] ------------------
         step2 = []
         for i in range(root):
             for j in range(root):
                 holder = int(segments[i][j])
-                block = held[(i, j)]
+                col_bits = pack_rows(held[(i, j)].T, width)  # row per column
                 for col in range(root):
-                    bits = pack_block(block[:, col], width)
                     target = int(segments[j][col])
-                    step2.append(SuperMessage.make(holder, col, bits, [target]))
+                    step2.append(SuperMessage.make(holder, col,
+                                                   col_bits[col], [target]))
         result2 = router.route(step2, label="det-sqrt/step2")
 
         # -- Output: v = S_j[l] holds M(S_i, {v}) for every i ------------------
@@ -86,8 +90,10 @@ class DetSqrtAllToAll(AllToAllProtocol):
         for j in range(root):
             for col in range(root):
                 v = int(segments[j][col])
+                stacked = np.stack(
+                    [result2.outputs[v][(int(segments[i][j]), col)]
+                     for i in range(root)])
+                values = unpack_rows(stacked, root, width)  # row per segment
                 for i in range(root):
-                    holder = int(segments[i][j])
-                    bits = result2.outputs[v][(holder, col)]
-                    beliefs[segments[i], v] = unpack_block(bits, root, width)
+                    beliefs[segments[i], v] = values[i]
         return beliefs

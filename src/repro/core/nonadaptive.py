@@ -42,6 +42,9 @@ class NonAdaptiveAllToAll(AllToAllProtocol):
         self.profile = profile
         self.codeword_bits = codeword_bits
         self.routing_mode = routing_mode
+        #: diagnostics filled by run() — in particular the number of received
+        #: words whose decoding *failed* (flagged, not silently zeroed)
+        self.diagnostics = {}
 
     def run(self, instance: AllToAllInstance, net: CongestedClique,
             seed: int = 0) -> np.ndarray:
@@ -76,23 +79,36 @@ class NonAdaptiveAllToAll(AllToAllProtocol):
         delivered = net.exchange(payload, width=B, label="nonadaptive/spread")
 
         # -- Step 2: B routing instances bring the bit-columns home -----------
+        # unpack every received bit-plane at once; the python loop below only
+        # wraps the precomputed columns into SuperMessage envelopes
+        clean = np.where(delivered < 0, 0, delivered)
+        bit_planes = ((clean[:, :, None] >> np.arange(B)[None, None, :]) & 1
+                      ).astype(np.uint8)
         messages = []
         for i in range(B):
             r = int(shifts[i])
             for w in range(n):
                 owner = (w - r) % n
-                column = delivered[:, w]
-                bits = np.where(column < 0, 0, (column >> i) & 1).astype(np.uint8)
-                messages.append(SuperMessage.make(w, i, bits, [owner]))
+                messages.append(SuperMessage.make(w, i, bit_planes[:, w, i],
+                                                  [owner]))
         result = router.route(messages, label="nonadaptive/return")
 
         # -- Step 3: reassemble and decode ------------------------------------
-        words = np.zeros((n, n, B), dtype=np.uint8)
-        for v in range(n):
-            for i in range(B):
-                w = (v + int(shifts[i])) % n
-                words[:, v, i] = result.outputs[v][(w, i)]
-        decoded, _ = code.decode_many_flagged(words.reshape(n * n, B))
+        # gather each bit plane's columns in one stack: owner v reads slot i
+        # from relay w = (v + r_i) mod n
+        words = np.empty((n, n, B), dtype=np.uint8)
+        owners = np.arange(n)
+        for i in range(B):
+            relay_of = (owners + int(shifts[i])) % n
+            stacked = np.stack([result.outputs[v][(int(relay_of[v]), i)]
+                                for v in range(n)])
+            words[:, :, i] = stacked.T
+        decoded, failed = code.decode_many_flagged(words.reshape(n * n, B))
+        self.diagnostics = {
+            "codeword_bits": B,
+            "decode_failures": int(failed.sum()),
+            "routing_decode_failures": len(result.decode_failures),
+        }
         weights = (np.int64(1) << np.arange(width, dtype=np.int64))
         beliefs = (decoded.astype(np.int64) * weights[None, :]).sum(axis=1)
         return beliefs.reshape(n, n)

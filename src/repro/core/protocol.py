@@ -49,3 +49,28 @@ def unpack_block(bits: np.ndarray, count: int, width: int) -> np.ndarray:
     matrix = bits.reshape(count, width).astype(np.int64)
     weights = (np.int64(1) << np.arange(width, dtype=np.int64))
     return (matrix * weights[None, :]).sum(axis=1)
+
+
+def pack_rows(values: np.ndarray, width: int) -> np.ndarray:
+    """Row-batched :func:`pack_block`: a ``(rows, count)`` integer matrix
+    becomes ``(rows, count * width)`` bits, each row packed independently."""
+    vals = np.asarray(values, dtype=np.int64)
+    if vals.ndim != 2:
+        raise ValueError(f"expected a 2-d value matrix, got {vals.shape}")
+    if vals.size and (vals.min() < 0 or vals.max() >= 1 << width):
+        raise ValueError(f"values do not fit in {width} bits")
+    bits = (vals[:, :, None] >> np.arange(width)[None, None, :]) & 1
+    return bits.astype(np.uint8).reshape(vals.shape[0], -1)
+
+
+def unpack_rows(bits: np.ndarray, count: int, width: int) -> np.ndarray:
+    """Row-batched :func:`unpack_block`: ``(rows, count * width)`` bits back
+    into a ``(rows, count)`` integer matrix — one multiply-sum for the whole
+    stack instead of one call per row."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 2 or bits.shape[1] != count * width:
+        raise ValueError(
+            f"expected shape (*, {count * width}), got {bits.shape}")
+    matrix = bits.reshape(bits.shape[0], count, width).astype(np.int64)
+    weights = (np.int64(1) << np.arange(width, dtype=np.int64))
+    return (matrix * weights[None, None, :]).sum(axis=2)

@@ -247,58 +247,81 @@ class SuperMessageRouter:
     def _execute_wave_blocks(self, wave, length, code, raw, failures, label):
         net = self.net
         n = net.n
-        planes = len(wave)
+        plane_count = len(wave)
         # encode every chunk in the wave in one batch call
         all_items = [(plane, chunk, block)
                      for plane, batch in enumerate(wave)
                      for chunk, block in batch]
         if not all_items:
             return
-        padded = np.zeros((len(all_items), code.k), dtype=np.uint8)
+        rows = len(all_items)
+        padded = np.zeros((rows, code.k), dtype=np.uint8)
         for row, (_, chunk, _) in enumerate(all_items):
             padded[row, :chunk.bits.size] = chunk.bits
         codewords = code.encode_many(padded).astype(np.int64)
 
-        # round 1: source -> relay block
+        planes = np.array([p for p, _, _ in all_items], dtype=np.int64)
+        sources = np.array([c.source for _, c, _ in all_items],
+                           dtype=np.int64)
+        blocks = np.array([b for _, _, b in all_items], dtype=np.int64)
+        # relay ids of every chunk, one row per chunk
+        relay_idx = blocks[:, None] * length + np.arange(length)[None, :]
+
+        # round 1: source -> relay block.  The schedule guarantees that
+        # within one plane no (source, relay) pair repeats, so a fancy-index
+        # OR per plane is collision-free and replaces the per-chunk loop.
         values = np.zeros((n, n), dtype=np.int64)
         present = np.zeros((n, n), dtype=bool)
-        for row, (plane, chunk, block) in enumerate(all_items):
-            relays = np.arange(block * length, (block + 1) * length)
-            values[chunk.source, relays] |= codewords[row] << plane
-            present[chunk.source, relays] = True
+        shifted = codewords << planes[:, None]
+        for plane in range(plane_count):
+            sel = planes == plane
+            if not sel.any():
+                continue
+            src = sources[sel][:, None]
+            values[src, relay_idx[sel]] |= shifted[sel]
+            present[src, relay_idx[sel]] = True
         intended = np.where(present, values, -1)
-        delivered1 = net.round(intended, width=planes, label=f"{label}/r1")
+        delivered1 = net.round(intended, width=plane_count,
+                               label=f"{label}/r1")
 
-        # round 2: relay -> targets
+        # round 2: relay -> targets.  Expand one row per (chunk, target);
+        # same-target-same-block conflicts are excluded by the schedule, so
+        # per-plane (relay, target) writes are collision-free too.
+        got1 = delivered1[sources[:, None], relay_idx]
+        bits1 = np.where(got1 < 0, 0, (got1 >> planes[:, None]) & 1)
+        target_counts = np.array([len(c.targets) for _, c, _ in all_items])
+        expand = np.repeat(np.arange(rows), target_counts)
+        targets = np.array([t for _, c, _ in all_items for t in c.targets],
+                           dtype=np.int64)
+
         values2 = np.zeros((n, n), dtype=np.int64)
         present2 = np.zeros((n, n), dtype=bool)
-        relay_bits: List[np.ndarray] = []
-        for row, (plane, chunk, block) in enumerate(all_items):
-            relays = np.arange(block * length, (block + 1) * length)
-            got = delivered1[chunk.source, relays]
-            bits1 = np.where(got < 0, 0, (got >> plane) & 1)
-            relay_bits.append(bits1)
-            for t in chunk.targets:
-                values2[relays, t] |= bits1 << plane
-                present2[relays, t] = True
+        shifted1 = bits1 << planes[:, None]
+        expanded_planes = planes[expand]
+        for plane in range(plane_count):
+            sel = np.flatnonzero(expanded_planes == plane)
+            if sel.size == 0:
+                continue
+            r_idx = relay_idx[expand[sel]]
+            t_idx = targets[sel][:, None]
+            values2[r_idx, t_idx] |= shifted1[expand[sel]]
+            present2[r_idx, t_idx] = True
         intended2 = np.where(present2, values2, -1)
-        delivered2 = net.round(intended2, width=planes, label=f"{label}/r2")
+        delivered2 = net.round(intended2, width=plane_count,
+                               label=f"{label}/r2")
 
-        # decode at every target
-        rows = []
-        metas = []
-        for row, (plane, chunk, block) in enumerate(all_items):
-            relays = np.arange(block * length, (block + 1) * length)
-            for t in chunk.targets:
-                got2 = delivered2[relays, t]
-                bits2 = np.where(got2 < 0, 0, (got2 >> plane) & 1)
-                rows.append(bits2.astype(np.uint8))
-                metas.append((chunk, t))
-        decoded, failed = code.decode_many_flagged(np.stack(rows))
-        for (chunk, t), message_bits, bad in zip(metas, decoded, failed):
+        # decode at every target: one gather + one batch decode for the wave
+        got2 = delivered2[relay_idx[expand], targets[:, None]]
+        bits2 = np.where(got2 < 0, 0,
+                         (got2 >> expanded_planes[:, None]) & 1
+                         ).astype(np.uint8)
+        decoded, failed = code.decode_many_flagged(bits2)
+        for e in range(expand.size):
+            _, chunk, _ = all_items[expand[e]]
+            t = int(targets[e])
             raw[t][(chunk.source, chunk.slot)][chunk.index] = \
-                message_bits[:chunk.bits.size]
-            if bad:
+                decoded[e][:chunk.bits.size]
+            if failed[e]:
                 failures.append((t, (chunk.source, chunk.slot)))
 
     # -- execution: cover-free mode -------------------------------------------------

@@ -43,19 +43,43 @@ class GF2m:
         self.order = 1 << m
         self._poly = _PRIMITIVE_POLY[m]
         size = self.order - 1
+        # antilog table by doubling: exp[f + i] = exp[f] * exp[i], where the
+        # multiply-by-constant is a vectorised carry-less product + modular
+        # reduction — O(m^2 log(2^m)) vector ops instead of 2^m scalar steps
         exp = np.zeros(2 * size, dtype=np.int64)
-        log = np.zeros(self.order, dtype=np.int64)
-        x = 1
-        for i in range(size):
-            exp[i] = x
-            log[x] = i
-            x <<= 1
+        exp[0] = 1
+        filled = 1
+        while filled < size:
+            # exp[filled] = exp[filled - 1] * x, one scalar LFSR step
+            x = int(exp[filled - 1]) << 1
             if x & self.order:
                 x ^= self._poly
+            exp[filled] = x
+            take = min(filled, size - filled - 1)
+            if take > 0:
+                exp[filled + 1:filled + 1 + take] = self._mul_by_constant(
+                    exp[1:1 + take], x)
+            filled += 1 + take
+        log = np.zeros(self.order, dtype=np.int64)
+        log[exp[:size]] = np.arange(size, dtype=np.int64)
         exp[size:2 * size] = exp[:size]
         self._exp = exp
         self._log = log
         self.generator = int(exp[1]) if m > 1 else 1
+
+    def _mul_by_constant(self, vec: np.ndarray, c: int) -> np.ndarray:
+        """Vectorised field multiply of ``vec`` by the constant ``c``:
+        carry-less product (shift/XOR per set bit of ``c``) followed by
+        reduction modulo the primitive polynomial.  Used only during table
+        construction — everything afterwards goes through the tables."""
+        out = np.zeros_like(vec)
+        for bit in range(self.m):
+            if (c >> bit) & 1:
+                out ^= vec << bit
+        for b in range(2 * self.m - 2, self.m - 1, -1):
+            mask = (out >> b) & 1
+            out ^= mask * (self._poly << (b - self.m))
+        return out
 
     # -- arithmetic ---------------------------------------------------------
     def add(self, a, b):
@@ -91,29 +115,34 @@ class GF2m:
         """Matrix product over GF(2^m): C[i, j] = XOR_k a[i, k] * b[k, j].
 
         Vectorised through the log/antilog tables; used by the batched
-        Reed–Solomon encoder on the routing hot path.
+        Reed–Solomon encoder/syndrome kernels on the routing hot path.  The
+        contraction axis is processed in blocks so the 3-d intermediate stays
+        cache-sized at any batch size.
         """
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
         if a.shape[1] != b.shape[0]:
             raise ValueError(f"shape mismatch {a.shape} @ {b.shape}")
         out = np.zeros((a.shape[0], b.shape[1]), dtype=np.int64)
-        # accumulate one contraction index at a time to bound memory
-        for k in range(a.shape[1]):
-            col = a[:, k]
-            row = b[k, :]
-            nz = (col != 0)[:, None] & (row != 0)[None, :]
-            if not np.any(nz):
-                continue
-            prod = np.zeros_like(out)
-            logs = self._log[col[:, None] | 0] + self._log[row[None, :] | 0]
-            prod[nz] = self._exp[logs[nz]]
-            out ^= prod
+        contraction = a.shape[1]
+        block = max(1, (1 << 21) // max(1, out.size))
+        for k0 in range(0, contraction, block):
+            a_blk = a[:, k0:k0 + block]
+            b_blk = b[k0:k0 + block, :]
+            logs = self._log[a_blk][:, :, None] + self._log[b_blk][None, :, :]
+            prod = self._exp[logs]
+            prod *= (a_blk != 0)[:, :, None] & (b_blk != 0)[None, :, :]
+            out ^= np.bitwise_xor.reduce(prod, axis=1)
         return out
 
     def pow_alpha(self, e: int) -> int:
         """alpha**e for the primitive element alpha."""
         return int(self._exp[e % (self.order - 1)])
+
+    def pow_alpha_many(self, exponents) -> np.ndarray:
+        """Vectorised :meth:`pow_alpha` over an exponent array."""
+        e = np.asarray(exponents, dtype=np.int64) % (self.order - 1)
+        return self._exp[e]
 
     def pow(self, a, e: int):
         a = int(a)
@@ -160,7 +189,12 @@ class GF2m:
     def poly_from_roots(self, roots: Sequence[int]) -> np.ndarray:
         out = np.array([1], dtype=np.int64)
         for r in roots:
-            out = self.poly_mul(out, np.array([int(r), 1], dtype=np.int64))
+            # multiply by the linear factor (x + r): shift plus a vectorised
+            # scale — two array ops per root instead of a coefficient loop
+            nxt = np.zeros(out.size + 1, dtype=np.int64)
+            nxt[1:] = out
+            nxt[:-1] ^= self.mul(out, int(r))
+            out = nxt
         return out
 
     def poly_deriv(self, coeffs: Sequence[int]) -> np.ndarray:

@@ -1,0 +1,24 @@
+"""Microbenchmark suite for the payload path (``repro bench``).
+
+``repro.perf.bench`` runs batched-vs-reference races over the codec kernels
+and the packed network transport and records the results to
+``BENCH_coding.json`` / ``BENCH_network.json``; ``repro.perf.reference``
+holds the frozen pre-refactor implementations that serve as the "before"
+side of every race.
+"""
+
+from repro.perf.bench import (
+    SUITE_FILES,
+    check_regression,
+    load_baseline,
+    run_suite,
+    write_results,
+)
+
+__all__ = [
+    "SUITE_FILES",
+    "check_regression",
+    "load_baseline",
+    "run_suite",
+    "write_results",
+]

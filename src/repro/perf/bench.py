@@ -1,0 +1,328 @@
+"""Microbenchmarks for the payload path: codec kernels, packed transport,
+end-to-end protocol throughput.
+
+Every benchmark pits the batched/packed implementation against the frozen
+pre-refactor reference (``repro.perf.reference``) on identical inputs,
+asserts the outputs agree, and reports both throughputs plus the speedup.
+``run_suite`` returns plain dicts; ``write_results`` serialises them to the
+``BENCH_coding.json`` / ``BENCH_network.json`` artifacts that track the perf
+trajectory, and ``check_regression`` compares a fresh run against a
+committed baseline (on *speedups*, which transfer across machines, not raw
+throughput, which does not).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.cliquesim.network import CongestedClique
+from repro.coding.justesen import make_justesen_code
+from repro.coding.linear import best_effort_linear_code
+from repro.coding.reed_solomon import ReedSolomonBinaryCode, ReedSolomonCodec
+from repro.core import AllToAllInstance, make_protocol, verify_beliefs
+from repro.fields.gf2m import GF2m
+from repro.perf import reference
+from repro.utils.rng import make_rng
+
+SCHEMA_VERSION = 1
+
+SUITE_FILES = {
+    "coding": "BENCH_coding.json",
+    "network": "BENCH_network.json",
+}
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _entry(name: str, items: int, unit: str, reference_seconds: float,
+           batched_seconds: float) -> Dict:
+    out = {
+        "items": items,
+        "unit": unit,
+        "reference_seconds": round(reference_seconds, 6),
+        "batched_seconds": round(batched_seconds, 6),
+        "reference_items_per_sec": round(items / reference_seconds, 2),
+        "batched_items_per_sec": round(items / batched_seconds, 2),
+        "speedup": round(reference_seconds / batched_seconds, 2),
+    }
+    return out
+
+
+def _corrupt_rows(words: np.ndarray, max_errors: int, alphabet: int,
+                  rng, fraction: float = 0.25) -> np.ndarray:
+    """Corrupt every 1/fraction-th row with up to ``max_errors`` symbol
+    errors — the transport-realistic mix of mostly-clean batches."""
+    noisy = words.copy()
+    stride = max(1, int(round(1 / fraction)))
+    for i in range(0, words.shape[0], stride):
+        errors = int(rng.integers(1, max_errors + 1))
+        positions = rng.choice(words.shape[1], errors, replace=False)
+        if alphabet == 2:
+            noisy[i, positions] ^= 1
+        else:
+            noisy[i, positions] ^= rng.integers(1, alphabet, errors)
+    return noisy
+
+
+# -- coding suite -------------------------------------------------------------
+
+def bench_rs_symbol_decode(count: int, repeats: int) -> Dict:
+    codec = ReedSolomonCodec(GF2m(8), n=60, k=40)
+    rng = make_rng(101)
+    msgs = rng.integers(0, 256, size=(count, codec.k))
+    noisy = _corrupt_rows(codec.encode_many(msgs), codec.t, 256, rng)
+    ref_out = reference.decode_many_loop(codec, noisy)
+    batch_out = codec.decode_many_flagged(noisy)
+    assert np.array_equal(ref_out[0], batch_out[0])
+    assert np.array_equal(ref_out[1], batch_out[1])
+    ref = _best_of(lambda: reference.decode_many_loop(codec, noisy), 1)
+    batched = _best_of(lambda: codec.decode_many_flagged(noisy), repeats)
+    return _entry("rs-symbol-decode", count, "words", ref, batched)
+
+
+def bench_rs_symbol_encode(count: int, repeats: int) -> Dict:
+    codec = ReedSolomonCodec(GF2m(8), n=60, k=40)
+    rng = make_rng(102)
+    msgs = rng.integers(0, 256, size=(count, codec.k))
+    # the reference is the seed's poly_mod long division, NOT encode in a
+    # loop (encode now delegates to the batched kernel under test)
+    assert np.array_equal(reference.rs_encode_poly_mod(codec, msgs),
+                          codec.encode_many(msgs))
+    ref = _best_of(lambda: reference.rs_encode_poly_mod(codec, msgs), 1)
+    batched = _best_of(lambda: codec.encode_many(msgs), repeats)
+    return _entry("rs-symbol-encode", count, "words", ref, batched)
+
+
+def bench_rs_binary_decode(count: int, repeats: int) -> Dict:
+    code = ReedSolomonBinaryCode(ReedSolomonCodec(GF2m(4), n=12, k=6))
+    rng = make_rng(103)
+    msgs = rng.integers(0, 2, size=(count, code.k), dtype=np.uint8)
+    noisy = _corrupt_rows(code.encode_many(msgs), code.codec.t, 2, rng)
+    ref_out = reference.decode_many_loop(code, noisy)
+    batch_out = code.decode_many_flagged(noisy)
+    assert np.array_equal(ref_out[0], batch_out[0])
+    assert np.array_equal(ref_out[1], batch_out[1])
+    ref = _best_of(lambda: reference.decode_many_loop(code, noisy), 1)
+    batched = _best_of(lambda: code.decode_many_flagged(noisy), repeats)
+    return _entry("rs-binary-decode", count, "words", ref, batched)
+
+
+def bench_justesen_decode(count: int, repeats: int) -> Dict:
+    code = make_justesen_code(250)
+    rng = make_rng(104)
+    msgs = rng.integers(0, 2, size=(count, code.k), dtype=np.uint8)
+    noisy = _corrupt_rows(code.encode_many(msgs),
+                          code.max_correctable_errors(), 2, rng)
+    ref_out = reference.decode_many_loop(code, noisy)
+    batch_out = code.decode_many_flagged(noisy)
+    assert np.array_equal(ref_out[0], batch_out[0])
+    assert np.array_equal(ref_out[1], batch_out[1])
+    ref = _best_of(lambda: reference.decode_many_loop(code, noisy), 1)
+    batched = _best_of(lambda: code.decode_many_flagged(noisy), repeats)
+    return _entry("justesen-decode", count, "words", ref, batched)
+
+
+def bench_linear_ml_decode(count: int, repeats: int) -> Dict:
+    code = best_effort_linear_code(8, 24, seed=0)
+    rng = make_rng(105)
+    msgs = rng.integers(0, 2, size=(count, code.k), dtype=np.uint8)
+    noisy = _corrupt_rows(code.encode_many(msgs),
+                          max(1, (code.min_distance - 1) // 2), 2, rng)
+    ref_out = reference.decode_many_loop(code, noisy)
+    batch_out = code.decode_many_flagged(noisy)
+    assert np.array_equal(ref_out[0], batch_out[0])
+    ref = _best_of(lambda: reference.decode_many_loop(code, noisy), 1)
+    batched = _best_of(lambda: code.decode_many_flagged(noisy), repeats)
+    return _entry("linear-ml-decode", count, "words", ref, batched)
+
+
+# -- network suite ------------------------------------------------------------
+
+def _fresh_net(n: int, bandwidth: int) -> CongestedClique:
+    return CongestedClique(n, bandwidth=bandwidth)
+
+
+def bench_exchange_bits(n: int, width: int, bandwidth: int,
+                        repeats: int, inner: int = 4) -> Dict:
+    rng = make_rng(201)
+    bits = rng.integers(0, 2, size=(n, n, width), dtype=np.uint8)
+    present = np.ones((n, n), dtype=bool)
+    got_ref = reference.exchange_bits_staged(_fresh_net(n, bandwidth),
+                                             bits, present)
+    got_new = _fresh_net(n, bandwidth).exchange_bits(bits, present)
+    assert np.array_equal(got_ref, got_new)
+    payload_bits = n * (n - 1) * width * inner
+
+    def ref_run():
+        for _ in range(inner):
+            reference.exchange_bits_staged(_fresh_net(n, bandwidth),
+                                           bits, present)
+
+    def batched_run():
+        for _ in range(inner):
+            _fresh_net(n, bandwidth).exchange_bits(bits, present)
+
+    ref = _best_of(ref_run, max(1, repeats - 1))
+    batched = _best_of(batched_run, repeats)
+    return _entry(f"exchange-bits-n{n}", payload_bits, "edge-bits",
+                  ref, batched)
+
+
+def bench_exchange_wide(n: int, width: int, bandwidth: int,
+                        repeats: int, inner: int = 8) -> Dict:
+    rng = make_rng(202)
+    intended = rng.integers(0, np.int64(1) << width, size=(n, n),
+                            dtype=np.int64)
+    got_ref = reference.exchange_chunked(_fresh_net(n, bandwidth),
+                                         intended, width)
+    got_new = _fresh_net(n, bandwidth).exchange(intended, width)
+    assert np.array_equal(got_ref, got_new)
+    payload_bits = n * (n - 1) * width * inner
+
+    def ref_run():
+        for _ in range(inner):
+            reference.exchange_chunked(_fresh_net(n, bandwidth),
+                                       intended, width)
+
+    def batched_run():
+        for _ in range(inner):
+            _fresh_net(n, bandwidth).exchange(intended, width)
+
+    ref = _best_of(ref_run, max(1, repeats - 1))
+    batched = _best_of(batched_run, repeats)
+    return _entry(f"exchange-wide-n{n}", payload_bits, "edge-bits",
+                  ref, batched)
+
+
+def bench_protocol_end_to_end(protocol_name: str, n: int,
+                              bandwidth: int) -> Dict:
+    """Fault-free end-to-end run: simulated protocol rounds per second.
+
+    There is no pre-refactor reference to race here — the entry records the
+    absolute trajectory (rounds/sec, wall seconds) across PRs instead.
+    """
+    instance = AllToAllInstance.random(n, width=1, seed=7)
+    protocol = make_protocol(protocol_name)
+
+    def run():
+        net = CongestedClique(n, bandwidth=bandwidth)
+        beliefs = protocol.run(instance, net, seed=11)
+        assert verify_beliefs(instance, beliefs) == n * n
+        return net
+
+    net = run()
+    rounds = net.rounds_used
+    seconds = _best_of(run, 1)
+    return {
+        "items": rounds,
+        "unit": "protocol-rounds",
+        "batched_seconds": round(seconds, 6),
+        "batched_items_per_sec": round(rounds / seconds, 2),
+    }
+
+
+# -- suite drivers ------------------------------------------------------------
+
+def run_suite(suite: str, smoke: bool = False,
+              progress: Optional[Callable[[str, Dict], None]] = None) -> Dict:
+    """Run one suite ("coding" or "network") and return its result dict."""
+    if suite not in SUITE_FILES:
+        raise ValueError(f"unknown suite {suite!r}")
+    repeats = 2 if smoke else 3
+    benchmarks: Dict[str, Dict] = {}
+
+    def record(name: str, entry: Dict):
+        benchmarks[name] = entry
+        if progress is not None:
+            progress(name, entry)
+
+    if suite == "coding":
+        count = 128 if smoke else 1024
+        record("rs-symbol-decode", bench_rs_symbol_decode(count, repeats))
+        record("rs-symbol-encode", bench_rs_symbol_encode(count, repeats))
+        record("rs-binary-decode", bench_rs_binary_decode(count, repeats))
+        record("justesen-decode",
+               bench_justesen_decode(64 if smoke else 512, repeats))
+        record("linear-ml-decode",
+               bench_linear_ml_decode(512 if smoke else 4096, repeats))
+    else:
+        n = 64
+        width = 128 if smoke else 512
+        record(f"exchange-bits-n{n}",
+               bench_exchange_bits(n, width, 32, repeats))
+        record(f"exchange-wide-n{n}",
+               bench_exchange_wide(n, 60, 8, repeats))
+        record("det-sqrt-end-to-end",
+               bench_protocol_end_to_end("det-sqrt", n, 32))
+        if not smoke:
+            record("nonadaptive-end-to-end",
+                   bench_protocol_end_to_end("nonadaptive", n, 32))
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": suite,
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "benchmarks": benchmarks,
+    }
+
+
+def write_results(results: Dict, out_dir: str = ".") -> Path:
+    """Serialise a suite run.  Smoke runs write ``BENCH_*.smoke.json`` so
+    they can never clobber the committed full-mode baselines that
+    :func:`check_regression` compares against."""
+    Path(out_dir).mkdir(parents=True, exist_ok=True)
+    name = SUITE_FILES[results["suite"]]
+    if results.get("mode") == "smoke":
+        name = name.replace(".json", ".smoke.json")
+    path = Path(out_dir) / name
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_baseline(suite: str, out_dir: str = ".") -> Optional[Dict]:
+    """Load the committed full-mode baseline for a suite (None if absent)."""
+    path = Path(out_dir) / SUITE_FILES[suite]
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def check_regression(baseline: Dict, results: Dict,
+                     factor: float = 2.0) -> List[str]:
+    """Compare a fresh run against a committed baseline.
+
+    Only *speedups* (batched vs reference on the same machine) are compared
+    — they are the machine-portable signal.  A benchmark regresses when its
+    speedup fell below ``baseline_speedup / factor``.  Returns a list of
+    human-readable failures (empty = pass).
+    """
+    failures = []
+    for name, base in baseline.get("benchmarks", {}).items():
+        if "speedup" not in base:
+            continue
+        fresh = results.get("benchmarks", {}).get(name)
+        if fresh is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        floor = base["speedup"] / factor
+        if fresh["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {fresh['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x / "
+                f"factor {factor})")
+    return failures

@@ -1,0 +1,116 @@
+"""Frozen pre-refactor reference implementations.
+
+These are the seed repository's per-bit / per-word code paths, kept verbatim
+so the perf suite always measures the batched kernels against the exact
+semantics they replaced (and so the parity assertions inside the benchmarks
+keep both sides honest).  Nothing outside ``repro.perf`` should import these
+— production call sites use the packed/batched primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cliquesim.network import CongestedClique
+from repro.coding.interfaces import DecodingFailure
+
+
+def decode_many_loop(code, words: np.ndarray):
+    """Per-word decode loop: the pre-refactor `decode_many_flagged` shape.
+
+    Works for anything with a ``decode`` raising :class:`DecodingFailure`
+    (both :class:`BinaryCode` and the symbol-level Reed–Solomon codec).
+    """
+    words = np.asarray(words)
+    count = words.shape[0]
+    out = np.zeros((count, code.k), dtype=words.dtype)
+    failed = np.zeros(count, dtype=bool)
+    for i in range(count):
+        try:
+            out[i] = code.decode(words[i])
+        except DecodingFailure:
+            failed[i] = True
+    return out, failed
+
+
+def encode_many_loop(code, messages: np.ndarray) -> np.ndarray:
+    """Per-word encode loop (the pre-refactor generic `encode_many`)."""
+    messages = np.asarray(messages)
+    return np.stack([code.encode(row) for row in messages])
+
+
+def rs_encode_poly_mod(codec, messages: np.ndarray) -> np.ndarray:
+    """The seed Reed–Solomon encoder: one polynomial long division
+    (``field.poly_mod`` against the generator) per word.
+
+    `ReedSolomonCodec.encode` now delegates to the parity-matrix
+    `encode_many`, so racing `encode` in a loop would measure the new
+    kernel against itself; this copy preserves the replaced algorithm
+    (which is also why it reaches into ``codec._generator_poly``).
+    """
+    messages = np.asarray(messages, dtype=np.int64)
+    field = codec.field
+    n_parity = codec.n - codec.k
+    out = np.zeros((messages.shape[0], codec.n), dtype=np.int64)
+    for i, msg in enumerate(messages):
+        shifted = np.concatenate(
+            [np.zeros(n_parity, dtype=np.int64), msg])
+        remainder = field.poly_mod(shifted, codec._generator_poly)
+        remainder = np.concatenate(
+            [remainder,
+             np.zeros(n_parity - len(remainder), dtype=np.int64)])
+        codeword = shifted.copy()
+        codeword[:n_parity] = remainder  # char 2: c = shifted + rem
+        out[i] = codeword
+    return out
+
+
+def exchange_bits_staged(net: CongestedClique, bits: np.ndarray,
+                         present: np.ndarray, label: str = "") -> np.ndarray:
+    """The seed `exchange_bits`: one ``(n, n, take)`` uint8 staging tensor
+    plus a weight multiply-sum per chunk, one engine round at a time."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    present = np.asarray(present, dtype=bool)
+    if bits.ndim != 3 or bits.shape[:2] != (net.n, net.n):
+        raise ValueError(f"expected shape ({net.n}, {net.n}, width)")
+    width = bits.shape[2]
+    out = np.zeros_like(bits)
+    for start in range(0, width, net.bandwidth):
+        take = min(net.bandwidth, width - start)
+        weights = (np.int64(1) << np.arange(take, dtype=np.int64))
+        chunk = (bits[:, :, start:start + take].astype(np.int64)
+                 * weights[None, None, :]).sum(axis=2)
+        intended = np.where(present, chunk, -1)
+        got = net.round(intended, width=take, label=f"{label}[bits{start}]")
+        got = np.where(got < 0, 0, got)
+        out[:, :, start:start + take] = \
+            ((got[:, :, None] >> np.arange(take)[None, None, :]) & 1
+             ).astype(np.uint8)
+    return out
+
+
+def exchange_chunked(net: CongestedClique, intended: np.ndarray,
+                     width: int, label: str = "") -> np.ndarray:
+    """The seed `exchange`: shift/mask per chunk but one python-level engine
+    round (with full adversary/validation overhead) per chunk."""
+    intended = np.asarray(intended, dtype=np.int64)
+    if width <= net.bandwidth:
+        return net.round(intended, width, label)
+    chunks = []
+    missing = np.zeros((net.n, net.n), dtype=bool)
+    absent = intended < 0
+    shift = 0
+    part = 0
+    while shift < width:
+        take = min(net.bandwidth, width - shift)
+        chunk = (intended >> shift) & ((1 << take) - 1)
+        chunk = np.where(absent, -1, chunk)
+        got = net.round(chunk, take, label=f"{label}[chunk{part}]")
+        missing |= got < 0
+        chunks.append((np.where(got < 0, 0, got), shift))
+        shift += take
+        part += 1
+    out = np.zeros((net.n, net.n), dtype=np.int64)
+    for chunk, offset in chunks:
+        out |= chunk << offset
+    return np.where(missing, -1, out)

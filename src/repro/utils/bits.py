@@ -1,11 +1,15 @@
-"""Bit-vector helpers.
+"""Bit-vector helpers and the packed word-plane representation.
 
-All protocol payloads in this library are ultimately bit strings.  We
-represent a bit string as a one-dimensional :class:`numpy.ndarray` of dtype
-``uint8`` whose entries are 0/1.  These helpers convert between that
-representation, Python integers, and fixed-width chunk views, and implement
-the padding conventions the paper relies on (e.g. padding sketches to a fixed
-bit-length ``t``, Section 5.2).
+All protocol payloads in this library are ultimately bit strings.  The
+boundary representation is a one-dimensional :class:`numpy.ndarray` of dtype
+``uint8`` whose entries are 0/1; the *transport* representation is the
+packed form produced by :func:`pack_bits` — 64 bits per ``uint64`` word,
+little-endian within each word — which is what the network engine and the
+batched codec kernels move around (one shift/mask per chunk instead of one
+array element per bit).  These helpers convert between the two forms, Python
+integers, and fixed-width chunk views, and implement the padding conventions
+the paper relies on (e.g. padding sketches to a fixed bit-length ``t``,
+Section 5.2).
 """
 
 from __future__ import annotations
@@ -15,6 +19,8 @@ from typing import Iterable, List, Sequence
 import numpy as np
 
 BitArray = np.ndarray
+
+WORD_BITS = 64
 
 
 def bits_from_int(value: int, width: int) -> BitArray:
@@ -30,20 +36,70 @@ def bits_from_int(value: int, width: int) -> BitArray:
         raise ValueError(f"width must be non-negative, got {width}")
     if value >> width:
         raise ValueError(f"value {value} does not fit in {width} bits")
-    out = np.zeros(width, dtype=np.uint8)
-    for i in range(width):
-        out[i] = (value >> i) & 1
-    return out
+    if width == 0:
+        return np.zeros(0, dtype=np.uint8)
+    raw = value.to_bytes(-(-width // 8), "little")
+    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8),
+                         bitorder="little")
+    return bits[:width].copy()
 
 
 def int_from_bits(bits: Sequence[int]) -> int:
     """Inverse of :func:`bits_from_int` (little-endian)."""
-    value = 0
-    for i, b in enumerate(bits):
-        if b not in (0, 1):
-            raise ValueError(f"bit at position {i} is {b}, expected 0/1")
-        value |= int(b) << i
-    return value
+    arr = np.asarray(bits if isinstance(bits, np.ndarray) else list(bits))
+    if arr.size == 0:
+        return 0
+    if arr.ndim != 1:
+        raise ValueError(f"expected 1-d bit data, got shape {arr.shape}")
+    if not np.isin(arr, (0, 1)).all():
+        bad = int(np.flatnonzero(~np.isin(arr, (0, 1)))[0])
+        raise ValueError(f"bit at position {bad} is {arr[bad]}, expected 0/1")
+    packed = np.packbits(arr.astype(np.uint8), bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+def words_per_width(width: int) -> int:
+    """Number of 64-bit words needed for a ``width``-bit payload."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return max(1, -(-width // WORD_BITS))
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack the last axis of a 0/1 ``uint8`` array into ``uint64`` words.
+
+    A ``(..., width)`` bit array becomes ``(..., ceil(width / 64))`` with
+    bit ``i`` stored at bit ``i % 64`` of word ``i // 64`` (little-endian
+    throughout, matching :func:`bits_from_int`).  A zero-width input packs
+    into a single all-zero word so the result is always indexable.
+    """
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    width = bits.shape[-1] if bits.ndim else 0
+    if bits.ndim == 0:
+        raise ValueError("expected at least one axis of bits")
+    n_words = words_per_width(width)
+    padded_bits = n_words * WORD_BITS
+    if width != padded_bits:
+        pad = np.zeros(bits.shape[:-1] + (padded_bits - width,),
+                       dtype=np.uint8)
+        bits = np.concatenate([bits, pad], axis=-1)
+    packed_bytes = np.packbits(bits, axis=-1, bitorder="little")
+    return np.ascontiguousarray(packed_bytes).view(np.uint64).reshape(
+        bits.shape[:-1] + (n_words,))
+
+
+def unpack_bits(words: np.ndarray, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: expand ``uint64`` words back into a
+    ``(..., width)`` 0/1 ``uint8`` array."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.ndim == 0:
+        words = words.reshape(1)
+    if words.shape[-1] < words_per_width(width):
+        raise ValueError(
+            f"{words.shape[-1]} words cannot hold {width} bits")
+    as_bytes = words.view(np.uint8).reshape(words.shape[:-1] + (-1,))
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    return bits[..., :width].copy()
 
 
 def as_bits(data: Iterable[int]) -> BitArray:

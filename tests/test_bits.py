@@ -5,14 +5,18 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.utils.bits import (
+    WORD_BITS,
     as_bits,
     bits_from_int,
     concat_bits,
     hamming_distance,
     int_from_bits,
+    pack_bits,
     pad_bits,
     random_bits,
     split_bits,
+    unpack_bits,
+    words_per_width,
 )
 
 
@@ -106,6 +110,46 @@ class TestPadSplitConcat:
         joined = concat_bits(split_bits(arr, chunk))
         assert np.array_equal(joined[:arr.size], arr)
         assert not joined[arr.size:].any()
+
+
+class TestPackedWords:
+    @pytest.mark.parametrize("width", [1, 7, 63, 64, 65, 127, 128, 200])
+    def test_round_trip(self, width, rng):
+        bits = rng.integers(0, 2, size=(3, 5, width), dtype=np.uint8)
+        words = pack_bits(bits)
+        assert words.dtype == np.uint64
+        assert words.shape == (3, 5, words_per_width(width))
+        assert np.array_equal(unpack_bits(words, width), bits)
+
+    def test_little_endian_matches_int_packing(self):
+        value = 0b1011_0101_0011
+        words = pack_bits(bits_from_int(value, 12))
+        assert int(words[0]) == value
+
+    def test_bit63_and_word_boundary(self):
+        bits = np.zeros(65, dtype=np.uint8)
+        bits[63] = 1
+        bits[64] = 1
+        words = pack_bits(bits)
+        assert int(words[0]) == 1 << 63
+        assert int(words[1]) == 1
+
+    def test_zero_width_packs_one_word(self):
+        words = pack_bits(np.zeros((2, 0), dtype=np.uint8))
+        assert words.shape == (2, 1)
+        assert not words.any()
+
+    def test_unpack_rejects_short_words(self):
+        with pytest.raises(ValueError):
+            unpack_bits(np.zeros(1, dtype=np.uint64), WORD_BITS + 1)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    def test_matches_int_from_bits(self, bits):
+        arr = as_bits(bits)
+        words = pack_bits(arr)
+        expected = int_from_bits(arr)
+        got = sum(int(w) << (WORD_BITS * i) for i, w in enumerate(words))
+        assert got == expected
 
 
 class TestHamming:

@@ -1,0 +1,107 @@
+"""The perf suite: structure of the BENCH artifacts, parity assertions of
+the batched-vs-reference races, and the regression gate."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.perf import (
+    SUITE_FILES,
+    check_regression,
+    load_baseline,
+    run_suite,
+    write_results,
+)
+from repro.perf.bench import (
+    bench_linear_ml_decode,
+    bench_rs_symbol_decode,
+)
+from repro.perf import reference
+from repro.cliquesim.network import CongestedClique
+from repro.utils.rng import make_rng
+
+
+class TestBenchEntries:
+    def test_rs_symbol_decode_entry(self):
+        entry = bench_rs_symbol_decode(16, 1)
+        assert entry["items"] == 16
+        assert entry["unit"] == "words"
+        assert entry["speedup"] == pytest.approx(
+            entry["reference_seconds"] / entry["batched_seconds"], rel=0.02)
+
+    def test_linear_ml_decode_entry(self):
+        entry = bench_linear_ml_decode(64, 1)
+        assert entry["batched_items_per_sec"] > 0
+
+
+class TestNetworkSuite:
+    def test_smoke_suite_structure(self, tmp_path):
+        results = run_suite("network", smoke=True)
+        assert results["suite"] == "network"
+        assert results["mode"] == "smoke"
+        names = set(results["benchmarks"])
+        assert "exchange-bits-n64" in names
+        assert "det-sqrt-end-to-end" in names
+        # smoke runs land in a .smoke.json sidecar and must never clobber
+        # the committed full-mode baseline
+        path = write_results(results, tmp_path)
+        assert path.name == SUITE_FILES["network"].replace(
+            ".json", ".smoke.json")
+        assert load_baseline("network", tmp_path) is None
+        full = dict(results, mode="full")
+        full_path = write_results(full, tmp_path)
+        assert full_path.name == SUITE_FILES["network"]
+        assert load_baseline("network", tmp_path) == json.loads(
+            full_path.read_text())
+
+    def test_reference_transport_matches_packed(self):
+        rng = make_rng(5)
+        n, width = 8, 40
+        bits = rng.integers(0, 2, size=(n, n, width), dtype=np.uint8)
+        present = np.ones((n, n), dtype=bool)
+        staged = reference.exchange_bits_staged(
+            CongestedClique(n, bandwidth=7), bits, present)
+        packed = CongestedClique(n, bandwidth=7).exchange_bits(bits, present)
+        assert np.array_equal(staged, packed)
+
+
+class TestRegressionGate:
+    def _fake(self, speedup):
+        return {"benchmarks": {"x": {"speedup": speedup}}}
+
+    def test_passes_within_factor(self):
+        assert check_regression(self._fake(10.0), self._fake(5.5)) == []
+
+    def test_fails_beyond_factor(self):
+        failures = check_regression(self._fake(10.0), self._fake(4.0))
+        assert len(failures) == 1 and "x" in failures[0]
+
+    def test_missing_benchmark_fails(self):
+        failures = check_regression(self._fake(10.0), {"benchmarks": {}})
+        assert failures
+
+    def test_entries_without_speedup_ignored(self):
+        baseline = {"benchmarks": {"e2e": {"batched_items_per_sec": 1.0}}}
+        assert check_regression(baseline, {"benchmarks": {}}) == []
+
+
+class TestBenchCLI:
+    def test_bench_network_smoke_and_check(self, tmp_path, capsys):
+        args = ["bench", "--suite", "network", "--smoke",
+                "--out-dir", str(tmp_path), "--quiet"]
+        assert main(args) == 0
+        smoke_name = SUITE_FILES["network"].replace(".json", ".smoke.json")
+        assert (tmp_path / smoke_name).exists()
+        assert not (tmp_path / SUITE_FILES["network"]).exists()
+        # a requested gate with no baseline to compare against must fail
+        assert main(args + ["--check"]) == 1
+        # promote the smoke run to a full-mode baseline, then --check
+        # compares a fresh smoke run against it
+        baseline = json.loads((tmp_path / smoke_name).read_text())
+        baseline["mode"] = "full"
+        write_results(baseline, tmp_path)
+        assert main(args + ["--check"]) == 0
+        out = capsys.readouterr().out
+        assert "no regression" in out
