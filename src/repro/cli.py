@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``):
     python -m repro experiment report --store runs/table1.jsonl
     python -m repro experiment list
     python -m repro bench --smoke --check
+    python -m repro bench --store runs/bench.jsonl
 """
 
 from __future__ import annotations
@@ -200,9 +201,13 @@ def cmd_experiment_report(args) -> int:
 
 def cmd_bench(args) -> int:
     from repro.perf import (SUITE_FILES, check_regression, load_baseline,
-                            run_suite, write_results)
+                            run_suite, store_rows, write_results)
     suites = sorted(SUITE_FILES) if args.suite == "all" else [args.suite]
     status = 0
+    store = None
+    if args.store:
+        from repro.experiments import TrialStore
+        store = TrialStore(args.store)
     for suite in suites:
         baseline = load_baseline(suite, args.out_dir) if args.check else None
         if args.check and baseline is None:
@@ -224,6 +229,10 @@ def cmd_bench(args) -> int:
                             progress=None if args.quiet else progress)
         path = write_results(results, args.out_dir)
         print(f"  -> {path}")
+        if store is not None:
+            rows = store_rows(results)
+            store.extend(rows)
+            print(f"  -> {len(rows)} rows appended to {args.store}")
         if baseline is not None:
             failures = check_regression(baseline, results,
                                         factor=args.check_factor)
@@ -234,6 +243,8 @@ def cmd_bench(args) -> int:
             else:
                 print(f"  [{suite}] no regression vs committed baseline "
                       f"(factor {args.check_factor})")
+    if store is not None:
+        store.close()
     return status
 
 
@@ -349,6 +360,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail if any speedup regressed more than "
                             "--check-factor vs the committed baseline")
     bench.add_argument("--check-factor", type=float, default=2.0)
+    bench.add_argument("--store", default=None,
+                       help="append one row per benchmark to this "
+                            "experiments-store JSONL (e.g. runs/bench.jsonl) "
+                            "so perf trajectories are queryable like trials")
     bench.add_argument("--quiet", action="store_true")
     bench.set_defaults(func=cmd_bench)
     return parser

@@ -20,7 +20,7 @@ corrupted and never counted as communication.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -178,39 +178,47 @@ class CongestedClique:
 
         Reassembly: an entry is ``-1`` if any of its chunks arrived as
         "no message" (the adversary may cause that only across faulty edges).
+
+        The chunked path folds onto :meth:`exchange_words`: the int64 matrix
+        is viewed as a one-word plane (width <= 62 always fits one word), so
+        narrow payloads ride the same plane transport as ``exchange_bits``.
         """
         intended = np.asarray(intended, dtype=np.int64)
         if width <= self.bandwidth:
             return self.round(intended, width, label)
+        present = intended >= 0
+        plane = np.where(present, intended, 0).astype(np.uint64)[:, :, None]
         spans = self._chunk_spans(width, self.bandwidth)
-        absent = intended < 0
-        # stage every chunk with one shift/mask, then run the round stack
-        starts = np.array([s for s, _ in spans], dtype=np.int64)
-        masks = np.array([(np.int64(1) << t) - 1 for _, t in spans],
-                         dtype=np.int64)
-        chunks = (intended[None, :, :] >> starts[:, None, None]) \
-            & masks[:, None, None]
-        chunks[:, absent] = -1
-        got = self.round_many(
-            chunks, [t for _, t in spans],
-            [f"{label}[chunk{part}]" for part in range(len(spans))])
-        missing = (got < 0).any(axis=0)
-        out = np.bitwise_or.reduce(
-            np.where(got < 0, 0, got) << starts[:, None, None], axis=0)
-        return np.where(missing, -1, out)
+        delivered, dropped = self.exchange_words(
+            plane, present, width,
+            labels=[f"{label}[chunk{part}]" for part in range(len(spans))])
+        out = delivered[:, :, 0].astype(np.int64)
+        return np.where(dropped | ~present, -1, out)
 
     def exchange_words(self, words: np.ndarray, present: np.ndarray,
-                       width: int, label: str = "") -> np.ndarray:
+                       width: int, label: str = "",
+                       labels: Optional[Sequence[str]] = None,
+                       ) -> Tuple[np.ndarray, np.ndarray]:
         """Send ``width``-bit payloads held as packed 64-bit word planes:
         ``words[u, v, :]`` are the payload words u sends v (little-endian,
         :func:`repro.utils.bits.pack_bits` layout) and ``present[u, v]``
         gates sending.
 
-        Splits the width into ``ceil(width / B)`` rounds, each chunk lifted
-        out of the word planes with one shift/mask (no per-bit staging);
-        returns the delivered word tensor with dropped chunks zero-filled.
+        Splits the width into ``ceil(width / B)`` rounds, all chunks lifted
+        out of the word planes with one vectorised gather (no per-bit and no
+        per-chunk staging), and returns ``(delivered, dropped)``:
+
+        * ``delivered`` — the delivered word tensor, dropped chunks
+          zero-filled;
+        * ``dropped`` — an ``(n, n)`` bool mask, True exactly where a *sent*
+          payload (``present``) had at least one chunk arrive as "no
+          message".  The adversary can cause that only across faulty edges;
+          without the mask a dropped payload would be indistinguishable from
+          a legitimate all-zero one.
+
         This is the transport primitive behind the wide scatter/answer steps
         of the adaptive compiler, where per-edge payloads exceed 62 bits.
+        ``labels`` overrides the per-chunk round labels (one per chunk).
         """
         words = np.asarray(words, dtype=np.uint64)
         present = np.asarray(present, dtype=bool)
@@ -220,51 +228,61 @@ class CongestedClique:
             raise ValueError(
                 f"expected shape ({self.n}, {self.n}, >={n_words})")
         if width == 0:
-            return np.zeros_like(words)
+            return np.zeros_like(words), np.zeros((self.n, self.n),
+                                                  dtype=bool)
         spans = self._chunk_spans(width, self.bandwidth)
-        chunks = np.empty((len(spans), self.n, self.n), dtype=np.int64)
-        for part, (start, take) in enumerate(spans):
-            word, offset = divmod(start, WORD_BITS)
-            value = words[:, :, word] >> np.uint64(offset)
-            if offset + take > WORD_BITS:
-                value = value | (words[:, :, word + 1]
-                                 << np.uint64(WORD_BITS - offset))
-            value = value & np.uint64((1 << take) - 1)
-            chunks[part] = value.astype(np.int64)
+        if labels is None:
+            labels = [f"{label}[bits{start}]" for start, _ in spans]
+        elif len(labels) != len(spans):
+            raise ValueError(f"expected {len(spans)} labels")
+        starts = np.array([s for s, _ in spans], dtype=np.int64)
+        takes = np.array([t for _, t in spans], dtype=np.int64)
+        word_of = starts // WORD_BITS
+        offset = (starts % WORD_BITS).astype(np.uint64)
+        masks = ((np.uint64(1) << takes.astype(np.uint64)) - np.uint64(1))
+        # one gather + shift per plane stack: chunk p of every edge at once
+        value = words[:, :, word_of] >> offset
+        straddle = (starts % WORD_BITS) + takes > WORD_BITS
+        if straddle.any():
+            carry = words[:, :, word_of[straddle] + 1] << (
+                np.uint64(WORD_BITS) - offset[straddle])
+            value[:, :, straddle] |= carry
+        chunks = np.ascontiguousarray(
+            (value & masks).astype(np.int64).transpose(2, 0, 1))
         chunks[:, ~present] = -1
-        got = self.round_many(
-            chunks, [t for _, t in spans],
-            [f"{label}[bits{start}]" for start, _ in spans])
+        got = self.round_many(chunks, [int(t) for t in takes], list(labels))
+        dropped = present & (got < 0).any(axis=0)
         got = np.where(got < 0, 0, got).astype(np.uint64)
         out = np.zeros_like(words)
         for part, (start, take) in enumerate(spans):
-            word, offset = divmod(start, WORD_BITS)
-            out[:, :, word] |= got[part] << np.uint64(offset)
-            if offset + take > WORD_BITS:
+            word, off = divmod(start, WORD_BITS)
+            out[:, :, word] |= got[part] << np.uint64(off)
+            if off + take > WORD_BITS:
                 out[:, :, word + 1] |= got[part] >> np.uint64(
-                    WORD_BITS - offset)
-        return out
+                    WORD_BITS - off)
+        return out, dropped
 
     def exchange_bits(self, bits: np.ndarray, present: np.ndarray,
-                      label: str = "") -> np.ndarray:
+                      label: str = "") -> Tuple[np.ndarray, np.ndarray]:
         """Send an arbitrary-width bit tensor: ``bits[u, v, :]`` are the
         payload bits u sends v (``present[u, v]`` gates sending).
 
         Boundary adapter over :meth:`exchange_words`: packs the tensor into
         64-bit word planes once, moves the packed planes, and unpacks once.
-        Callers that already hold packed words should use
-        :meth:`exchange_words` directly.
+        Returns ``(delivered_bits, dropped)`` with the same drop-mask
+        semantics as :meth:`exchange_words`.  Callers that already hold
+        packed words should use :meth:`exchange_words` directly.
         """
         bits = np.asarray(bits, dtype=np.uint8)
         present = np.asarray(present, dtype=bool)
         if bits.ndim != 3 or bits.shape[:2] != (self.n, self.n):
             raise ValueError(f"expected shape ({self.n}, {self.n}, width)")
         width = bits.shape[2]
-        delivered = self.exchange_words(pack_bits(bits), present, width,
-                                        label=label)
+        delivered, dropped = self.exchange_words(pack_bits(bits), present,
+                                                 width, label=label)
         if width == 0:
-            return np.zeros_like(bits)
-        return unpack_bits(delivered, width)
+            return np.zeros_like(bits), dropped
+        return unpack_bits(delivered, width), dropped
 
     def fault_free(self) -> bool:
         return isinstance(self.adversary, NullAdversary)

@@ -153,11 +153,12 @@ class ReedSolomonCodec:
         """Batch bounded-distance correction of (count, n) words.
 
         Returns ``(corrected, failed)``.  The pipeline is vectorised end to
-        end: batched syndromes, a zero-syndrome short-circuit, per-row
-        Berlekamp–Massey (a tiny scalar state machine) to get the error
-        locators, then batch Chien search, batch Forney evaluation and a
-        batched re-syndrome verification over all dirty rows at once.
-        Failed rows are returned unmodified with their flag set.
+        end: batched syndromes, a zero-syndrome short-circuit, a batched
+        multi-row Berlekamp–Massey (:meth:`_berlekamp_massey_many`, all
+        dirty rows advancing in lockstep) for the error locators, then batch
+        Chien search, batch Forney evaluation and a batched re-syndrome
+        verification over all dirty rows at once.  Failed rows are returned
+        unmodified with their flag set.
         """
         words = np.asarray(words, dtype=np.int64)
         if words.ndim != 2 or words.shape[1] != self.n:
@@ -173,18 +174,11 @@ class ReedSolomonCodec:
         n_synd = self.n - self.k
         synd = syndromes[dirty]
 
-        # error locators, one small scalar solve per dirty row
-        sigmas = np.zeros((dirty.size, self.t + 1), dtype=np.int64)
-        num_errors = np.zeros(dirty.size, dtype=np.int64)
-        ok = np.ones(dirty.size, dtype=bool)
-        for row in range(dirty.size):
-            sigma, length = self._berlekamp_massey(synd[row].tolist())
-            if length > self.t or np.any(sigma[self.t + 1:]):
-                ok[row] = False
-                continue
-            sigmas[row, :min(sigma.size, self.t + 1)] = \
-                sigma[:self.t + 1]
-            num_errors[row] = length
+        # error locators: all dirty rows walk Berlekamp–Massey in lockstep
+        full_sigmas, num_errors = self._berlekamp_massey_many(synd)
+        ok = (num_errors <= self.t) \
+            & ~full_sigmas[:, self.t + 1:].any(axis=1)
+        sigmas = np.where(ok[:, None], full_sigmas[:, :self.t + 1], 0)
 
         # batch Chien search: evaluate every locator at every position
         evals = self._eval_many(sigmas, self._alpha_inv_positions)
@@ -229,6 +223,56 @@ class ReedSolomonCodec:
         messages = corrected[:, self.n - self.k:].copy()
         messages[failed] = 0
         return messages, failed
+
+    def _berlekamp_massey_many(self, syndromes: np.ndarray):
+        """Vectorised multi-row Berlekamp–Massey.
+
+        ``syndromes`` is a ``(rows, 2t)`` matrix; every row advances the
+        classic LFSR-synthesis state machine in lockstep, with the
+        data-dependent branches turned into row masks.  Returns
+        ``(sigmas, lengths)`` where ``sigmas`` is ``(rows, 2t + 1)`` (the
+        full locator buffer — callers check degree bounds themselves) and
+        ``lengths`` the per-row LFSR length L.
+
+        Instead of the scalar version's explicit ``shift`` counter, the
+        previous locator is kept *pre-shifted*: ``shifted_b`` holds
+        ``x^shift * B(x)`` and is multiplied by ``x`` (one uniform roll
+        across all rows) at the end of every iteration, which is what makes
+        the per-row variable shift vectorisable.  The per-word
+        :meth:`_berlekamp_massey` is the parity oracle for this kernel
+        (``tests/test_reed_solomon.py`` races them row by row, including
+        beyond-radius rows).
+        """
+        field = self.field
+        synd = np.asarray(syndromes, dtype=np.int64)
+        rows, n_synd = synd.shape
+        width = n_synd + 1  # deg(sigma) <= L <= n_synd throughout
+        c = np.zeros((rows, width), dtype=np.int64)
+        c[:, 0] = 1
+        shifted_b = np.zeros((rows, width), dtype=np.int64)
+        shifted_b[:, 1] = 1  # x^1 * B(x) with B = 1, shift = 1
+        lengths = np.zeros(rows, dtype=np.int64)
+        b_discrepancy = np.ones(rows, dtype=np.int64)
+        for i in range(n_synd):
+            # d = sum_{j=0..i} c_j * S_{i-j}; coefficients beyond the
+            # current degree are zero, so the full-width sum matches the
+            # scalar loop's 1..L window
+            d = synd[:, i].copy()
+            for j in range(1, min(i, width - 1) + 1):
+                d ^= field.mul(c[:, j], synd[:, i - j])
+            update = d != 0
+            grow = update & (2 * lengths <= i)
+            adjustment = field.mul(
+                field.div_where(d, b_discrepancy)[:, None], shifted_b)
+            new_c = np.where(update[:, None], c ^ adjustment, c)
+            shifted_b = np.where(grow[:, None], c, shifted_b)
+            b_discrepancy = np.where(grow, d, b_discrepancy)
+            lengths = np.where(grow, i + 1 - lengths, lengths)
+            c = new_c
+            # uniform end-of-iteration shift: B' <- x * B'
+            shifted_b[:, 1:] = shifted_b[:, :-1]
+            shifted_b[:, 0] = 0
+        return c, lengths
 
     def _berlekamp_massey(self, syndromes):
         """Return (error locator polynomial sigma, number of errors L)."""

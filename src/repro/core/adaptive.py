@@ -57,6 +57,7 @@ from repro.core.protocol import (
 from repro.core.routing import SuperMessage, SuperMessageRouter, broadcast
 from repro.fields.gfp import is_prime
 from repro.sketch.ksparse import KSparseSketch, SketchRecoveryError, SketchSpec
+from repro.utils.bits import pack_symbols, unpack_symbols
 from repro.utils.rng import derive, fresh_seed
 
 
@@ -323,41 +324,37 @@ class AdaptiveAllToAll(AllToAllProtocol):
         for key in piece_keys:
             pieces_by_leader.setdefault(leader_of(key[0], key[1]), []).append(key)
         max_pieces = max(len(v) for v in pieces_by_leader.values())
-        scatter_width = max_pieces * symbols_per_node * wire_bits
+        scatter_symbols = max_pieces * symbols_per_node
+        scatter_width = scatter_symbols * wire_bits
         padded_symbols = symbols_per_node * n
 
-        # bits[leader, r, :] = symbols of each of the leader's pieces at
-        # codeword positions s*n + r, wire_bits little-endian bits each;
-        # one bit-expansion per piece (no per-symbol-slot loop)
-        scatter_bits = np.zeros((n, n, scatter_width), dtype=np.uint8)
+        # symbol grid[leader, r, :] = symbols of each of the leader's pieces
+        # at codeword positions s*n + r, packed straight into word planes —
+        # no (n, n, scatter_width) uint8 staging tensor
+        scatter_syms = np.zeros((n, n, scatter_symbols), dtype=np.int64)
         scatter_present = np.zeros((n, n), dtype=bool)
-        bit_weights = np.arange(wire_bits)
-        piece_span = symbols_per_node * wire_bits
         for leader, keys in pieces_by_leader.items():
             scatter_present[leader, :] = True
             for ki, key in enumerate(keys):
                 grid = np.zeros(padded_symbols, dtype=np.int64)
                 grid[:ldc.n] = codewords[key]
-                grid = grid.reshape(symbols_per_node, n)
-                block = ((grid[:, :, None] >> bit_weights[None, None, :]) & 1
-                         ).astype(np.uint8)          # (s, r, bit)
-                scatter_bits[leader, :,
-                             ki * piece_span:(ki + 1) * piece_span] = \
-                    block.transpose(1, 0, 2).reshape(n, piece_span)
-        scattered = net.exchange_bits(scatter_bits, scatter_present,
-                                      label="adaptive/scatter")
+                scatter_syms[leader, :,
+                             ki * symbols_per_node:
+                             (ki + 1) * symbols_per_node] = \
+                    grid.reshape(symbols_per_node, n).T
+        scattered, scatter_dropped = net.exchange_words(
+            pack_symbols(scatter_syms, wire_bits), scatter_present,
+            scatter_width, label="adaptive/scatter")
+        scattered_syms = unpack_symbols(scattered, scatter_symbols, wire_bits)
 
         # node r's view of codeword (j, piece) at positions s*n + r,
         # assembled as one position-indexed array per codeword
         shard_views = {}  # key -> (ldc.n,) symbol values across holders
-        sym_scale = (np.int64(1) << bit_weights)
         for leader, keys in pieces_by_leader.items():
             for ki, key in enumerate(keys):
-                chunk = scattered[leader, :,
-                                  ki * piece_span:(ki + 1) * piece_span]
-                values = (chunk.reshape(n, symbols_per_node, wire_bits)
-                          .astype(np.int64)
-                          * sym_scale[None, None, :]).sum(axis=2)
+                values = scattered_syms[leader, :,
+                                        ki * symbols_per_node:
+                                        (ki + 1) * symbols_per_node]
                 shard_views[key] = values.T.reshape(-1)[:ldc.n].copy()
 
         # ===== Step III continued: R3 broadcast + query answering ============
@@ -391,7 +388,8 @@ class AdaptiveAllToAll(AllToAllProtocol):
         max_slots = max(len(pairs)
                         for by_holder in needs_by_offset.values()
                         for pairs in by_holder.values())
-        answer_width = max_slots * num_parts * wire_bits
+        answer_symbols = max_slots * num_parts
+        answer_width = answer_symbols * wire_bits
 
         # every group's codeword of one piece, stacked for one-gather answers
         piece_stacks = {
@@ -403,8 +401,9 @@ class AdaptiveAllToAll(AllToAllProtocol):
         # answers travel as one direct exchange: entry (r, v) packs, for each
         # of v's queried positions held by r and each group j, the shard value
         # of codeword (j, piece_of(v)) at that position — slot-major, then
-        # group, wire_bits little-endian bits each, expanded in one shot
-        answer_bits = np.zeros((n, n, answer_width), dtype=np.uint8)
+        # group, wire_bits each, staged as symbols and packed once into the
+        # transported word planes
+        answer_syms = np.zeros((n, n, answer_symbols), dtype=np.int64)
         answer_present = np.zeros((n, n), dtype=bool)
         for v in range(n):
             offset_slot = v % sketches_per_piece
@@ -412,11 +411,10 @@ class AdaptiveAllToAll(AllToAllProtocol):
             for holder, positions in positions_by_offset[offset_slot].items():
                 answer_present[holder, v] = True
                 symbols = stack[:, positions].T  # (num_slots, num_parts)
-                bits = ((symbols[:, :, None] >> bit_weights[None, None, :])
-                        & 1).astype(np.uint8)
-                answer_bits[holder, v, :bits.size] = bits.reshape(-1)
-        answers = net.exchange_bits(answer_bits, answer_present,
-                                    label="adaptive/answers")
+                answer_syms[holder, v, :symbols.size] = symbols.reshape(-1)
+        answers, answer_dropped = net.exchange_words(
+            pack_symbols(answer_syms, wire_bits), answer_present,
+            answer_width, label="adaptive/answers")
 
         # ===== Step III end: local LDC decoding of own sketch slots ==========
         decoded_sketches = {
@@ -425,7 +423,6 @@ class AdaptiveAllToAll(AllToAllProtocol):
         sketch_ok = {(j, v): True
                      for v in range(n) for j in range(num_parts)}
 
-        sym_weights = (np.int64(1) << np.arange(wire_bits, dtype=np.int64))
         for offset_slot in range(sketches_per_piece):
             nodes = np.array(
                 [v for v in range(n) if v % sketches_per_piece == offset_slot])
@@ -438,11 +435,10 @@ class AdaptiveAllToAll(AllToAllProtocol):
             slot_of = {}
             for holder, pairs in by_holder.items():
                 num_slots = len(pairs)
-                chunk = answers[holder, nodes, :num_slots * num_parts * wire_bits]
-                symbols = (chunk.reshape(nodes.size, num_slots, num_parts,
-                                         wire_bits).astype(np.int64)
-                           * sym_weights[None, None, None, :]).sum(axis=3)
-                unpacked[holder] = symbols
+                symbols = unpack_symbols(answers[holder][nodes],
+                                         num_slots * num_parts, wire_bits)
+                unpacked[holder] = symbols.reshape(nodes.size, num_slots,
+                                                   num_parts)
                 slot_of[holder] = {pair: s for s, pair in enumerate(pairs)}
             base = offset_slot * t_symbols
             for idx in range(base, base + t_symbols):
@@ -516,5 +512,12 @@ class AdaptiveAllToAll(AllToAllProtocol):
             "answer_width": answer_width,
             "recovered": recovered_count,
             "failed_sketches": failed_sketches,
+            # adversarial "no message" drops, per transport step: entries of
+            # the direct exchanges whose payloads were silenced, and relay
+            # bits silenced inside the routing steps
+            "dropped_scatter_entries": int(scatter_dropped.sum()),
+            "dropped_answer_entries": int(answer_dropped.sum()),
+            "routing_dropped_entries": (routed.dropped_entries
+                                        + gathered.dropped_entries),
         }
         return beliefs

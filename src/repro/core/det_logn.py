@@ -103,6 +103,8 @@ class DetLogAllToAll(AllToAllProtocol):
                 "sources_per_node": state[0][0].size,
                 "targets_per_node": state[0][1].size,
                 "rounds_so_far": net.rounds_used,
+                "routing_decode_failures": len(result.decode_failures),
+                "routing_dropped_entries": result.dropped_entries,
             })
 
         beliefs = np.full((n, n), -1, dtype=np.int64)

@@ -40,6 +40,8 @@ class DetSqrtAllToAll(AllToAllProtocol):
                  routing_mode: str = "blocks"):
         self.profile = profile
         self.routing_mode = routing_mode
+        #: transport diagnostics of the two routing steps, filled by run()
+        self.diagnostics = {}
 
     def run(self, instance: AllToAllInstance, net: CongestedClique,
             seed: int = 0) -> np.ndarray:
@@ -84,6 +86,13 @@ class DetSqrtAllToAll(AllToAllProtocol):
                     step2.append(SuperMessage.make(holder, col,
                                                    col_bits[col], [target]))
         result2 = router.route(step2, label="det-sqrt/step2")
+
+        self.diagnostics = {
+            "routing_decode_failures": (len(result1.decode_failures)
+                                        + len(result2.decode_failures)),
+            "routing_dropped_entries": (result1.dropped_entries
+                                        + result2.dropped_entries),
+        }
 
         # -- Output: v = S_j[l] holds M(S_i, {v}) for every i ------------------
         beliefs = np.full((n, n), -1, dtype=np.int64)

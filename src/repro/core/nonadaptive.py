@@ -29,6 +29,7 @@ from repro.core.messages import AllToAllInstance
 from repro.core.profiles import ProtocolProfile, SIMULATION
 from repro.core.protocol import AllToAllProtocol, pack_block, unpack_block
 from repro.core.routing import SuperMessage, SuperMessageRouter, broadcast
+from repro.utils.bits import pack_bits, unpack_bits
 from repro.utils.rng import derive
 
 
@@ -67,23 +68,23 @@ class NonAdaptiveAllToAll(AllToAllProtocol):
 
         # -- Step 1: spread codeword bits through the random shifts ----------
         flat = instance.messages.reshape(-1)
-        msg_bits = ((flat[:, None] >> np.arange(width)[None, :]) & 1
-                    ).astype(np.uint8)
+        msg_bits = unpack_bits(flat.astype(np.uint64)[:, None], width)
         codewords = code.encode_many(msg_bits).reshape(n, n, B)
-        payload = np.zeros((n, n), dtype=np.int64)
-        for i in range(B):
-            # bit i of C(m_{u,v}) goes to column p_i(v) = (v + r_i) mod n
-            plane = np.roll(codewords[:, :, i].astype(np.int64),
-                            int(shifts[i]), axis=1)
-            payload |= plane << i
+        # bit i of C(m_{u,v}) goes to column p_i(v) = (v + r_i) mod n: gather
+        # every plane's shifted column at once and pack the (n, n, B) bit
+        # tensor straight into the one-word payload plane — no per-plane
+        # roll/OR loop over the B bit-planes
+        cols = (np.arange(n)[:, None] - shifts[None, :]) % n  # (n, B)
+        spread = codewords[:, cols, np.arange(B)[None, :]]
+        payload = pack_bits(spread)[:, :, 0].astype(np.int64)
         delivered = net.exchange(payload, width=B, label="nonadaptive/spread")
 
         # -- Step 2: B routing instances bring the bit-columns home -----------
         # unpack every received bit-plane at once; the python loop below only
         # wraps the precomputed columns into SuperMessage envelopes
+        dropped_spread = int(np.count_nonzero(delivered < 0))
         clean = np.where(delivered < 0, 0, delivered)
-        bit_planes = ((clean[:, :, None] >> np.arange(B)[None, None, :]) & 1
-                      ).astype(np.uint8)
+        bit_planes = unpack_bits(clean.astype(np.uint64)[:, :, None], B)
         messages = []
         for i in range(B):
             r = int(shifts[i])
@@ -108,6 +109,10 @@ class NonAdaptiveAllToAll(AllToAllProtocol):
             "codeword_bits": B,
             "decode_failures": int(failed.sum()),
             "routing_decode_failures": len(result.decode_failures),
+            # adversarial "no message" drops: spread-exchange entries that
+            # arrived silenced, and relay bits dropped inside the router
+            "dropped_spread_entries": dropped_spread,
+            "routing_dropped_entries": result.dropped_entries,
         }
         weights = (np.int64(1) << np.arange(width, dtype=np.int64))
         beliefs = (decoded.astype(np.int64) * weights[None, :]).sum(axis=1)

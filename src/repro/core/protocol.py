@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.cliquesim.network import CongestedClique
 from repro.core.messages import AllToAllInstance
+from repro.utils.bits import pack_bits, pack_symbols, unpack_bits, unpack_symbols
 
 
 class AllToAllProtocol(abc.ABC):
@@ -31,14 +32,20 @@ class AllToAllProtocol(abc.ABC):
 
 def pack_block(values: np.ndarray, width: int) -> np.ndarray:
     """Pack an integer array (any shape, id-ordered when flattened row-major)
-    into a flat bit array, ``width`` little-endian bits per entry."""
+    into a flat bit array, ``width`` little-endian bits per entry.
+
+    Internally stages through the packed word-plane representation
+    (:func:`repro.utils.bits.pack_symbols`), so no ``(count, width)``
+    bit-expansion tensor is ever materialised.
+    """
     flat = np.asarray(values, dtype=np.int64).reshape(-1)
     if flat.size == 0:
         return np.zeros(0, dtype=np.uint8)
-    if flat.min() < 0 or flat.max() >= 1 << width:
+    if flat.min() < 0 or int(flat.max()) >> width:
         raise ValueError(f"values do not fit in {width} bits")
-    bits = (flat[:, None] >> np.arange(width)[None, :]) & 1
-    return bits.astype(np.uint8).reshape(-1)
+    if width == 0:
+        return np.zeros(0, dtype=np.uint8)
+    return unpack_bits(pack_symbols(flat, width), flat.size * width)
 
 
 def unpack_block(bits: np.ndarray, count: int, width: int) -> np.ndarray:
@@ -46,9 +53,9 @@ def unpack_block(bits: np.ndarray, count: int, width: int) -> np.ndarray:
     bits = np.asarray(bits, dtype=np.uint8)
     if bits.size != count * width:
         raise ValueError(f"expected {count * width} bits, got {bits.size}")
-    matrix = bits.reshape(count, width).astype(np.int64)
-    weights = (np.int64(1) << np.arange(width, dtype=np.int64))
-    return (matrix * weights[None, :]).sum(axis=1)
+    if count == 0 or width == 0:
+        return np.zeros(count, dtype=np.int64)
+    return unpack_symbols(pack_bits(bits.reshape(-1)), count, width)
 
 
 def pack_rows(values: np.ndarray, width: int) -> np.ndarray:
@@ -57,20 +64,22 @@ def pack_rows(values: np.ndarray, width: int) -> np.ndarray:
     vals = np.asarray(values, dtype=np.int64)
     if vals.ndim != 2:
         raise ValueError(f"expected a 2-d value matrix, got {vals.shape}")
-    if vals.size and (vals.min() < 0 or vals.max() >= 1 << width):
+    if vals.size and (vals.min() < 0 or int(vals.max()) >> width):
         raise ValueError(f"values do not fit in {width} bits")
-    bits = (vals[:, :, None] >> np.arange(width)[None, None, :]) & 1
-    return bits.astype(np.uint8).reshape(vals.shape[0], -1)
+    if vals.size == 0 or width == 0:
+        return np.zeros((vals.shape[0], vals.shape[1] * width),
+                        dtype=np.uint8)
+    return unpack_bits(pack_symbols(vals, width), vals.shape[1] * width)
 
 
 def unpack_rows(bits: np.ndarray, count: int, width: int) -> np.ndarray:
     """Row-batched :func:`unpack_block`: ``(rows, count * width)`` bits back
-    into a ``(rows, count)`` integer matrix — one multiply-sum for the whole
-    stack instead of one call per row."""
+    into a ``(rows, count)`` integer matrix — one pack + strided symbol
+    extraction for the whole stack instead of one call per row."""
     bits = np.asarray(bits, dtype=np.uint8)
     if bits.ndim != 2 or bits.shape[1] != count * width:
         raise ValueError(
             f"expected shape (*, {count * width}), got {bits.shape}")
-    matrix = bits.reshape(bits.shape[0], count, width).astype(np.int64)
-    weights = (np.int64(1) << np.arange(width, dtype=np.int64))
-    return (matrix * weights[None, None, :]).sum(axis=2)
+    if count == 0 or width == 0:
+        return np.zeros((bits.shape[0], count), dtype=np.int64)
+    return unpack_symbols(pack_bits(bits), count, width)

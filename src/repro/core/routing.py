@@ -87,6 +87,10 @@ class RoutingResult:
     decode_failures: List[Tuple[int, MessageKey]] = field(default_factory=list)
     batches: int = 0
     codeword_bits: int = 0
+    #: codeword bits the adversary silenced outright ("no message" where a
+    #: relay bit was expected); decoded as 0 but surfaced here so callers
+    #: can see drops separately from content corruption
+    dropped_entries: int = 0
 
     def received(self, target: int, source: int, slot: int = 0) -> np.ndarray:
         return self.outputs[target][(source, slot)]
@@ -138,10 +142,11 @@ class SuperMessageRouter:
         raw: Dict[int, Dict[MessageKey, Dict[int, np.ndarray]]] = \
             defaultdict(lambda: defaultdict(dict))
         failures: List[Tuple[int, MessageKey]] = []
+        stats = {"dropped": 0}
         bandwidth = net.bandwidth
         for wave_start in range(0, len(batches), bandwidth):
             wave = batches[wave_start:wave_start + bandwidth]
-            executor(wave, length, code, raw, failures,
+            executor(wave, length, code, raw, failures, stats,
                      f"{label}/wave{wave_start // bandwidth}")
 
         outputs = self._reassemble(messages, raw)
@@ -149,7 +154,8 @@ class SuperMessageRouter:
                              rounds=net.rounds_used - start_rounds,
                              decode_failures=failures,
                              batches=len(batches),
-                             codeword_bits=length)
+                             codeword_bits=length,
+                             dropped_entries=stats["dropped"])
 
     # -- chunking ---------------------------------------------------------------
     def _split_into_chunks(self, messages: Sequence[SuperMessage],
@@ -244,7 +250,8 @@ class SuperMessageRouter:
         return batches
 
     # -- execution: blocks mode ---------------------------------------------------
-    def _execute_wave_blocks(self, wave, length, code, raw, failures, label):
+    def _execute_wave_blocks(self, wave, length, code, raw, failures, stats,
+                             label):
         net = self.net
         n = net.n
         plane_count = len(wave)
@@ -267,27 +274,25 @@ class SuperMessageRouter:
         # relay ids of every chunk, one row per chunk
         relay_idx = blocks[:, None] * length + np.arange(length)[None, :]
 
-        # round 1: source -> relay block.  The schedule guarantees that
-        # within one plane no (source, relay) pair repeats, so a fancy-index
-        # OR per plane is collision-free and replaces the per-chunk loop.
+        # round 1: source -> relay block.  All planes of the wave stage into
+        # the word plane with a single OR-scatter: same-(source, relay)
+        # collisions only happen across planes, which OR resolves exactly
+        # (the schedule keeps each plane collision-free on its own bit).
         values = np.zeros((n, n), dtype=np.int64)
         present = np.zeros((n, n), dtype=bool)
         shifted = codewords << planes[:, None]
-        for plane in range(plane_count):
-            sel = planes == plane
-            if not sel.any():
-                continue
-            src = sources[sel][:, None]
-            values[src, relay_idx[sel]] |= shifted[sel]
-            present[src, relay_idx[sel]] = True
+        src_flat = np.repeat(sources, length)
+        rel_flat = relay_idx.reshape(-1)
+        np.bitwise_or.at(values, (src_flat, rel_flat), shifted.reshape(-1))
+        present[src_flat, rel_flat] = True
         intended = np.where(present, values, -1)
         delivered1 = net.round(intended, width=plane_count,
                                label=f"{label}/r1")
 
-        # round 2: relay -> targets.  Expand one row per (chunk, target);
-        # same-target-same-block conflicts are excluded by the schedule, so
-        # per-plane (relay, target) writes are collision-free too.
+        # round 2: relay -> targets.  Expand one row per (chunk, target) and
+        # stage with the same single OR-scatter.
         got1 = delivered1[sources[:, None], relay_idx]
+        stats["dropped"] += int(np.count_nonzero(got1 < 0))
         bits1 = np.where(got1 < 0, 0, (got1 >> planes[:, None]) & 1)
         target_counts = np.array([len(c.targets) for _, c, _ in all_items])
         expand = np.repeat(np.arange(rows), target_counts)
@@ -298,20 +303,18 @@ class SuperMessageRouter:
         present2 = np.zeros((n, n), dtype=bool)
         shifted1 = bits1 << planes[:, None]
         expanded_planes = planes[expand]
-        for plane in range(plane_count):
-            sel = np.flatnonzero(expanded_planes == plane)
-            if sel.size == 0:
-                continue
-            r_idx = relay_idx[expand[sel]]
-            t_idx = targets[sel][:, None]
-            values2[r_idx, t_idx] |= shifted1[expand[sel]]
-            present2[r_idx, t_idx] = True
+        rel2_flat = relay_idx[expand].reshape(-1)
+        tgt2_flat = np.repeat(targets, length)
+        np.bitwise_or.at(values2, (rel2_flat, tgt2_flat),
+                         shifted1[expand].reshape(-1))
+        present2[rel2_flat, tgt2_flat] = True
         intended2 = np.where(present2, values2, -1)
         delivered2 = net.round(intended2, width=plane_count,
                                label=f"{label}/r2")
 
         # decode at every target: one gather + one batch decode for the wave
         got2 = delivered2[relay_idx[expand], targets[:, None]]
+        stats["dropped"] += int(np.count_nonzero(got2 < 0))
         bits2 = np.where(got2 < 0, 0,
                          (got2 >> expanded_planes[:, None]) & 1
                          ).astype(np.uint8)
@@ -325,7 +328,8 @@ class SuperMessageRouter:
                 failures.append((t, (chunk.source, chunk.slot)))
 
     # -- execution: cover-free mode -------------------------------------------------
-    def _execute_wave_coverfree(self, wave, length, code, raw, failures, label):
+    def _execute_wave_coverfree(self, wave, length, code, raw, failures,
+                                stats, label):
         net = self.net
         n = net.n
         planes = len(wave)
@@ -390,6 +394,8 @@ class SuperMessageRouter:
                 if in_load[chunk.source][w] != 1:
                     continue
                 got = delivered1[chunk.source, w]
+                if got < 0:
+                    stats["dropped"] += 1
                 bit1 = 0 if got < 0 else (int(got) >> plane) & 1
                 for t in chunk.targets:
                     if out_load[w][t] == 1:
@@ -407,6 +413,8 @@ class SuperMessageRouter:
                     w = int(w)
                     if in_load[chunk.source][w] == 1 and out_load[w][t] == 1:
                         got2 = delivered2[w, t]
+                        if got2 < 0:
+                            stats["dropped"] += 1
                         bits2[pos] = 0 if got2 < 0 else (int(got2) >> plane) & 1
                 rows.append(bits2)
                 metas.append((chunk, t))

@@ -63,12 +63,20 @@ class TrialStore:
 
     @staticmethod
     def _hash_of(trial) -> str:
-        if isinstance(trial, TrialSpec):
-            return trial.content_hash()
-        return str(trial)
+        if not isinstance(trial, TrialSpec):
+            # a silent str() fallback would turn a mistyped key into a cache
+            # miss, re-running (or double-recording) the trial — fail loudly
+            raise TypeError(
+                f"store keys must be TrialSpec, got {type(trial).__name__}")
+        return trial.content_hash()
 
     def get(self, trial) -> Optional[Dict]:
         return self._rows.get(self._hash_of(trial))
+
+    def get_by_hash(self, digest: str) -> Optional[Dict]:
+        """Row for an already-computed content hash (the explicit form —
+        :meth:`get` only accepts :class:`TrialSpec` keys)."""
+        return self._rows.get(digest)
 
     def rows(self) -> List[Dict]:
         return list(self._rows.values())

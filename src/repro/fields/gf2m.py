@@ -111,6 +111,16 @@ class GF2m:
     def div(self, a, b):
         return self.mul(a, self.inv(b))
 
+    def div_where(self, a, b):
+        """Elementwise ``a / b`` with zero divisors mapped to 0 instead of
+        raising — the masked form the batched decoder kernels need (rows
+        whose denominator vanishes are flagged separately, the quotient at
+        those positions is never used)."""
+        b_arr = np.asarray(b, dtype=np.int64)
+        safe = np.where(b_arr == 0, 1, b_arr)
+        out = self.mul(a, self.inv(safe))
+        return np.where(b_arr == 0, 0, out)
+
     def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Matrix product over GF(2^m): C[i, j] = XOR_k a[i, k] * b[k, j].
 

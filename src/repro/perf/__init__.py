@@ -12,6 +12,7 @@ from repro.perf.bench import (
     check_regression,
     load_baseline,
     run_suite,
+    store_rows,
     write_results,
 )
 
@@ -20,5 +21,6 @@ __all__ = [
     "check_regression",
     "load_baseline",
     "run_suite",
+    "store_rows",
     "write_results",
 ]

@@ -13,6 +13,7 @@ throughput, which does not).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import platform
 import time
@@ -78,6 +79,34 @@ def _corrupt_rows(words: np.ndarray, max_errors: int, alphabet: int,
 
 
 # -- coding suite -------------------------------------------------------------
+
+def bench_rs_batch_bm(count: int, repeats: int) -> Dict:
+    """Heavily-corrupted batch decode: *every* row is dirty (and a quarter
+    are corrupted beyond the decoding radius), so the locator solve
+    dominates.  Races the batched multi-row Berlekamp–Massey pipeline
+    against the frozen PR-2 path whose BM still runs per dirty row in
+    Python; parity is asserted on corrected words *and* failure flags, so
+    the beyond-radius rows keep both sides honest."""
+    codec = ReedSolomonCodec(GF2m(8), n=60, k=40)
+    rng = make_rng(106)
+    msgs = rng.integers(0, 256, size=(count, codec.k))
+    noisy = codec.encode_many(msgs)
+    for i in range(count):
+        # rows i % 4 == 3 get up to 2t errors: mostly beyond the radius
+        high = 2 * codec.t if i % 4 == 3 else codec.t
+        errors = int(rng.integers(1, high + 1))
+        positions = rng.choice(codec.n, errors, replace=False)
+        noisy[i, positions] ^= rng.integers(1, 256, errors)
+    ref_out = reference.rs_correct_many_perrow_bm(codec, noisy)
+    batch_out = codec.correct_many(noisy)
+    assert np.array_equal(ref_out[0], batch_out[0])
+    assert np.array_equal(ref_out[1], batch_out[1])
+    assert batch_out[1].any()  # the beyond-radius rows must flag
+    ref = _best_of(lambda: reference.rs_correct_many_perrow_bm(codec, noisy),
+                   1)
+    batched = _best_of(lambda: codec.correct_many(noisy), repeats)
+    return _entry("rs-batch-bm", count, "words", ref, batched)
+
 
 def bench_rs_symbol_decode(count: int, repeats: int) -> Dict:
     codec = ReedSolomonCodec(GF2m(8), n=60, k=40)
@@ -162,8 +191,9 @@ def bench_exchange_bits(n: int, width: int, bandwidth: int,
     present = np.ones((n, n), dtype=bool)
     got_ref = reference.exchange_bits_staged(_fresh_net(n, bandwidth),
                                              bits, present)
-    got_new = _fresh_net(n, bandwidth).exchange_bits(bits, present)
+    got_new, dropped = _fresh_net(n, bandwidth).exchange_bits(bits, present)
     assert np.array_equal(got_ref, got_new)
+    assert not dropped.any()
     payload_bits = n * (n - 1) * width * inner
 
     def ref_run():
@@ -207,6 +237,28 @@ def bench_exchange_wide(n: int, width: int, bandwidth: int,
                   ref, batched)
 
 
+def bench_plane_staging(n: int, count: int, sym_bits: int,
+                        repeats: int) -> Dict:
+    """Compiler staging: build the transported word planes from an
+    ``(n, n, count)`` symbol tensor (the shape of the adaptive compiler's
+    scatter/answer staging).  The reference is the frozen PR-2 path — bit
+    expansion into an ``(n, n, count * sym_bits)`` uint8 tensor packed at
+    the boundary; the batched kernel is the direct ``pack_symbols``
+    scatter-write into ``(n, n, words)`` uint64 planes."""
+    from repro.utils.bits import pack_symbols
+
+    rng = make_rng(203)
+    symbols = rng.integers(0, 1 << sym_bits, size=(n, n, count))
+    ref_out = reference.stage_symbols_uint8(symbols, sym_bits)
+    new_out = pack_symbols(symbols, sym_bits)
+    assert np.array_equal(ref_out, new_out)
+    items = n * n * count
+    ref = _best_of(lambda: reference.stage_symbols_uint8(symbols, sym_bits),
+                   max(1, repeats - 1))
+    batched = _best_of(lambda: pack_symbols(symbols, sym_bits), repeats)
+    return _entry(f"plane-staging-n{n}", items, "symbols", ref, batched)
+
+
 def bench_protocol_end_to_end(protocol_name: str, n: int,
                               bandwidth: int) -> Dict:
     """Fault-free end-to-end run: simulated protocol rounds per second.
@@ -236,6 +288,49 @@ def bench_protocol_end_to_end(protocol_name: str, n: int,
 
 # -- suite drivers ------------------------------------------------------------
 
+def _suite_plan(suite: str):
+    """(name, factory) pairs; each factory takes (smoke, repeats).
+
+    Batched-kernel speedups *grow with the batch size* (the fixed kernel
+    overhead amortises), so a smoke-scale measurement is not comparable to a
+    full-scale one.  The driver therefore measures every raceable benchmark
+    at smoke scale as well during full runs and stores it as
+    ``smoke_speedup`` — the mode-matched floor :func:`check_regression`
+    uses when gating a smoke run against the committed full baseline.
+    """
+    if suite == "coding":
+        return [
+            ("rs-symbol-decode",
+             lambda smoke, r: bench_rs_symbol_decode(128 if smoke else 1024,
+                                                     r)),
+            ("rs-symbol-encode",
+             lambda smoke, r: bench_rs_symbol_encode(128 if smoke else 1024,
+                                                     r)),
+            ("rs-batch-bm",
+             lambda smoke, r: bench_rs_batch_bm(256 if smoke else 2048, r)),
+            ("rs-binary-decode",
+             lambda smoke, r: bench_rs_binary_decode(128 if smoke else 1024,
+                                                     r)),
+            ("justesen-decode",
+             lambda smoke, r: bench_justesen_decode(64 if smoke else 512, r)),
+            ("linear-ml-decode",
+             lambda smoke, r: bench_linear_ml_decode(512 if smoke else 4096,
+                                                     r)),
+        ]
+    return [
+        ("exchange-bits-n64",
+         lambda smoke, r: bench_exchange_bits(64, 128 if smoke else 512,
+                                              32, r)),
+        ("exchange-wide-n64",
+         lambda smoke, r: bench_exchange_wide(64, 60, 8, r)),
+        ("plane-staging-n64",
+         lambda smoke, r: bench_plane_staging(64, 32 if smoke else 128,
+                                              7, r)),
+        ("det-sqrt-end-to-end",
+         lambda smoke, r: bench_protocol_end_to_end("det-sqrt", 64, 32)),
+    ]
+
+
 def run_suite(suite: str, smoke: bool = False,
               progress: Optional[Callable[[str, Dict], None]] = None) -> Dict:
     """Run one suite ("coding" or "network") and return its result dict."""
@@ -249,27 +344,19 @@ def run_suite(suite: str, smoke: bool = False,
         if progress is not None:
             progress(name, entry)
 
-    if suite == "coding":
-        count = 128 if smoke else 1024
-        record("rs-symbol-decode", bench_rs_symbol_decode(count, repeats))
-        record("rs-symbol-encode", bench_rs_symbol_encode(count, repeats))
-        record("rs-binary-decode", bench_rs_binary_decode(count, repeats))
-        record("justesen-decode",
-               bench_justesen_decode(64 if smoke else 512, repeats))
-        record("linear-ml-decode",
-               bench_linear_ml_decode(512 if smoke else 4096, repeats))
-    else:
-        n = 64
-        width = 128 if smoke else 512
-        record(f"exchange-bits-n{n}",
-               bench_exchange_bits(n, width, 32, repeats))
-        record(f"exchange-wide-n{n}",
-               bench_exchange_wide(n, 60, 8, repeats))
-        record("det-sqrt-end-to-end",
-               bench_protocol_end_to_end("det-sqrt", n, 32))
-        if not smoke:
-            record("nonadaptive-end-to-end",
-                   bench_protocol_end_to_end("nonadaptive", n, 32))
+    for name, factory in _suite_plan(suite):
+        entry = factory(smoke, repeats)
+        if not smoke and "speedup" in entry:
+            entry["smoke_speedup"] = factory(True, 2)["speedup"]
+        record(name, entry)
+    if suite == "network" and not smoke:
+        # the scale-sweep entry: n=256 stays out of the smoke CI budget, so
+        # its baseline row is marked full-only for check_regression
+        entry = bench_exchange_bits(256, 256, 32, repeats, inner=1)
+        entry["full_only"] = True
+        record("exchange-bits-n256", entry)
+        record("nonadaptive-end-to-end",
+               bench_protocol_end_to_end("nonadaptive", 64, 32))
     return {
         "schema": SCHEMA_VERSION,
         "suite": suite,
@@ -278,6 +365,32 @@ def run_suite(suite: str, smoke: bool = False,
         "numpy": np.__version__,
         "benchmarks": benchmarks,
     }
+
+
+def store_rows(results: Dict, recorded_at: Optional[float] = None) -> List[Dict]:
+    """Turn a suite run into experiments-store rows (one per benchmark).
+
+    Rows are keyed by a digest of (suite, benchmark, mode, timestamp), so
+    every run appends fresh rows instead of overwriting history — that is
+    what makes perf trajectories queryable from the store like any other
+    trial (``repro bench --store runs/bench.jsonl``).
+    """
+    stamp = time.time() if recorded_at is None else recorded_at
+    rows = []
+    for name, entry in results.get("benchmarks", {}).items():
+        key = f"bench:{results['suite']}:{name}:{results['mode']}:{stamp:.6f}"
+        rows.append({
+            "hash": hashlib.sha256(key.encode("utf-8")).hexdigest(),
+            "kind": "bench",
+            "suite": results["suite"],
+            "name": name,
+            "mode": results["mode"],
+            "recorded_unix": round(stamp, 6),
+            "python": results.get("python"),
+            "numpy": results.get("numpy"),
+            "entry": entry,
+        })
+    return rows
 
 
 def write_results(results: Dict, out_dir: str = ".") -> Path:
@@ -307,22 +420,30 @@ def check_regression(baseline: Dict, results: Dict,
     """Compare a fresh run against a committed baseline.
 
     Only *speedups* (batched vs reference on the same machine) are compared
-    — they are the machine-portable signal.  A benchmark regresses when its
-    speedup fell below ``baseline_speedup / factor``.  Returns a list of
-    human-readable failures (empty = pass).
+    — they are the machine-portable signal — and mode-matched: a smoke-mode
+    fresh run is gated on the baseline's ``smoke_speedup`` (measured at
+    smoke scale during the committed full run), because batch speedups grow
+    with batch size and a full-scale floor would misfire on smoke batches.
+    A benchmark regresses when its speedup fell below ``floor / factor``.
+    Returns a list of human-readable failures (empty = pass).
     """
     failures = []
+    smoke_run = results.get("mode") == "smoke"
     for name, base in baseline.get("benchmarks", {}).items():
         if "speedup" not in base:
             continue
+        if base.get("full_only") and smoke_run:
+            continue  # scale-sweep entries are not measured by smoke runs
         fresh = results.get("benchmarks", {}).get(name)
         if fresh is None:
             failures.append(f"{name}: missing from fresh run")
             continue
-        floor = base["speedup"] / factor
+        base_speedup = base.get("smoke_speedup", base["speedup"]) \
+            if smoke_run else base["speedup"]
+        floor = base_speedup / factor
         if fresh["speedup"] < floor:
             failures.append(
                 f"{name}: speedup {fresh['speedup']:.2f}x fell below "
-                f"{floor:.2f}x (baseline {base['speedup']:.2f}x / "
+                f"{floor:.2f}x (baseline {base_speedup:.2f}x / "
                 f"factor {factor})")
     return failures

@@ -65,6 +65,82 @@ def rs_encode_poly_mod(codec, messages: np.ndarray) -> np.ndarray:
     return out
 
 
+def rs_correct_many_perrow_bm(codec, words: np.ndarray):
+    """The PR-2 ``ReedSolomonCodec.correct_many``: batched syndromes, Chien
+    and Forney, but the error-locator solve still runs the *scalar*
+    Berlekamp–Massey once per dirty row.  Frozen as the reference for the
+    batched multi-row BM kernel (which is why it reaches into the codec's
+    private helpers)."""
+    words = np.asarray(words, dtype=np.int64)
+    if words.ndim != 2 or words.shape[1] != codec.n:
+        raise ValueError(f"expected shape (*, {codec.n})")
+    count = words.shape[0]
+    corrected = words.copy()
+    failed = np.zeros(count, dtype=bool)
+    syndromes = codec.syndromes_many(words)
+    dirty = np.flatnonzero(syndromes.any(axis=1))
+    if dirty.size == 0:
+        return corrected, failed
+    field = codec.field
+    n_synd = codec.n - codec.k
+    synd = syndromes[dirty]
+
+    # error locators, one small scalar solve per dirty row
+    sigmas = np.zeros((dirty.size, codec.t + 1), dtype=np.int64)
+    num_errors = np.zeros(dirty.size, dtype=np.int64)
+    ok = np.ones(dirty.size, dtype=bool)
+    for row in range(dirty.size):
+        sigma, length = codec._berlekamp_massey(synd[row].tolist())
+        if length > codec.t or np.any(sigma[codec.t + 1:]):
+            ok[row] = False
+            continue
+        sigmas[row, :min(sigma.size, codec.t + 1)] = sigma[:codec.t + 1]
+        num_errors[row] = length
+
+    # batch Chien search: evaluate every locator at every position
+    evals = codec._eval_many(sigmas, codec._alpha_inv_positions)
+    err = (evals == 0)
+    ok &= err.sum(axis=1) == num_errors
+
+    # batch Forney: omega = S * sigma mod x^{2t}, sigma' formal derivative
+    omega = np.zeros((dirty.size, n_synd), dtype=np.int64)
+    for b in range(min(codec.t, n_synd - 1) + 1):
+        omega[:, b:] ^= field.mul(sigmas[:, b][:, None],
+                                  synd[:, :n_synd - b])
+    deriv = sigmas[:, 1:].copy()
+    deriv[:, 1::2] = 0
+    if deriv.shape[1] == 0:
+        deriv = np.zeros((dirty.size, 1), dtype=np.int64)
+    omega_vals = codec._eval_many(omega, codec._alpha_inv_positions)
+    deriv_vals = codec._eval_many(deriv, codec._alpha_inv_positions)
+    ok &= ~np.any(err & (deriv_vals == 0), axis=1)  # Forney denominator
+    apply = err & ok[:, None]
+    magnitudes = field.mul(
+        omega_vals, field.inv(np.where(deriv_vals == 0, 1, deriv_vals)))
+    patched = words[dirty] ^ np.where(apply, magnitudes, 0)
+
+    # verify: all syndromes of every corrected word must vanish
+    ok &= ~field.matmul(patched, codec._syndrome_matrix).any(axis=1)
+
+    good = dirty[ok]
+    corrected[good] = patched[ok]
+    failed[dirty[~ok]] = True
+    return corrected, failed
+
+
+def stage_symbols_uint8(symbols: np.ndarray, sym_bits: int) -> np.ndarray:
+    """The PR-2 compiler staging shape: bit-expand a ``(..., count)`` symbol
+    tensor into a ``(..., count * sym_bits)`` uint8 tensor (the scatter /
+    answer staging of the adaptive compiler) and pack it into word planes at
+    the transport boundary.  Frozen as the reference for the direct
+    ``pack_symbols`` plane staging."""
+    from repro.utils.bits import pack_bits
+
+    symbols = np.asarray(symbols, dtype=np.int64)
+    bits = ((symbols[..., None] >> np.arange(sym_bits)) & 1).astype(np.uint8)
+    return pack_bits(bits.reshape(symbols.shape[:-1] + (-1,)))
+
+
 def exchange_bits_staged(net: CongestedClique, bits: np.ndarray,
                          present: np.ndarray, label: str = "") -> np.ndarray:
     """The seed `exchange_bits`: one ``(n, n, take)`` uint8 staging tensor

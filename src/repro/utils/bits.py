@@ -14,7 +14,7 @@ Section 5.2).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -100,6 +100,92 @@ def unpack_bits(words: np.ndarray, width: int) -> np.ndarray:
     as_bytes = words.view(np.uint8).reshape(words.shape[:-1] + (-1,))
     bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
     return bits[..., :width].copy()
+
+
+def pack_symbols(values: np.ndarray, sym_bits: int,
+                 n_words: Optional[int] = None) -> np.ndarray:
+    """Pack fixed-width symbols straight into ``uint64`` word planes.
+
+    A ``(..., count)`` integer array of symbols, each in ``[0, 2^sym_bits)``,
+    becomes the ``(..., ceil(count * sym_bits / 64))`` packed form that
+    :func:`pack_bits` would produce from the symbols' little-endian bit
+    expansion — without ever materialising the ``(..., count * sym_bits)``
+    uint8 tensor.  Symbol ``j`` occupies bits ``[j * sym_bits, (j+1) *
+    sym_bits)`` of the plane.  This is the staging kernel of the protocol
+    compilers: scatter/answer tensors are built as symbol grids and packed
+    here in two vectorised OR-reductions (one for the in-word parts, one for
+    the word-straddling carries).
+
+    ``n_words`` pads the plane to a wider word count (all-zero tail).
+    """
+    if not 1 <= sym_bits <= 63:
+        raise ValueError(f"symbol width must be in [1, 63], got {sym_bits}")
+    values = np.asarray(values)
+    if values.ndim == 0:
+        raise ValueError("expected at least one axis of symbols")
+    count = values.shape[-1]
+    width = count * sym_bits
+    needed = words_per_width(width)
+    if n_words is None:
+        n_words = needed
+    elif n_words < needed:
+        raise ValueError(f"{n_words} words cannot hold {width} bits")
+    out = np.zeros(values.shape[:-1] + (n_words,), dtype=np.uint64)
+    if count == 0:
+        return out
+    if values.min() < 0 or int(values.max()) >> sym_bits:
+        raise ValueError(f"values do not fit in {sym_bits} bits")
+    vals = values.astype(np.uint64)
+    offsets = np.arange(count, dtype=np.int64) * sym_bits
+    word_of = offsets // WORD_BITS          # non-decreasing in j
+    shift = (offsets % WORD_BITS).astype(np.uint64)
+    low = vals << shift
+    # every word in range contains at least one symbol start (sym_bits <= 64),
+    # so the group boundaries cover 0..word_of[-1] without gaps
+    last = int(word_of[-1])
+    starts = np.searchsorted(word_of, np.arange(last + 1))
+    out[..., :last + 1] = np.bitwise_or.reduceat(low, starts, axis=-1)
+    # carries of symbols straddling a word boundary
+    straddle = (offsets % WORD_BITS) + sym_bits > WORD_BITS
+    if straddle.any():
+        carry = vals[..., straddle] >> (
+            np.uint64(WORD_BITS) - shift[straddle])
+        targets = word_of[straddle] + 1     # also non-decreasing
+        distinct, first = np.unique(targets, return_index=True)
+        carry_or = np.bitwise_or.reduceat(carry, first, axis=-1)
+        out[..., distinct] |= carry_or
+    return out
+
+
+def unpack_symbols(words: np.ndarray, count: int, sym_bits: int) -> np.ndarray:
+    """Strided symbol extraction, the inverse of :func:`pack_symbols`:
+    read ``count`` consecutive ``sym_bits``-wide symbols out of packed
+    ``uint64`` word planes as an ``(..., count)`` int64 array.
+
+    One gather + shift for the in-word parts and one for the straddling
+    carries — no per-symbol loop and no intermediate bit tensor.
+    """
+    if not 1 <= sym_bits <= 63:
+        raise ValueError(f"symbol width must be in [1, 63], got {sym_bits}")
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.ndim == 0:
+        words = words.reshape(1)
+    if count == 0:
+        return np.zeros(words.shape[:-1] + (0,), dtype=np.int64)
+    if words.shape[-1] < words_per_width(count * sym_bits):
+        raise ValueError(
+            f"{words.shape[-1]} words cannot hold {count * sym_bits} bits")
+    offsets = np.arange(count, dtype=np.int64) * sym_bits
+    word_of = offsets // WORD_BITS
+    shift = (offsets % WORD_BITS).astype(np.uint64)
+    out = words[..., word_of] >> shift
+    straddle = (offsets % WORD_BITS) + sym_bits > WORD_BITS
+    if straddle.any():
+        carry = words[..., word_of[straddle] + 1] << (
+            np.uint64(WORD_BITS) - shift[straddle])
+        out[..., straddle] |= carry
+    mask = np.uint64((1 << sym_bits) - 1)
+    return (out & mask).astype(np.int64)
 
 
 def as_bits(data: Iterable[int]) -> BitArray:

@@ -38,7 +38,7 @@ class TestWidthBoundaries:
         net = CongestedClique(4, bandwidth=32)
         rng = np.random.default_rng(0)
         bits = rng.integers(0, 2, size=(4, 4, 100)).astype(np.uint8)
-        out = net.exchange_bits(bits, np.ones((4, 4), dtype=bool))
+        out, _ = net.exchange_bits(bits, np.ones((4, 4), dtype=bool))
         assert np.array_equal(out, bits)
         assert net.rounds_used == 4  # ceil(100/32)
 

@@ -71,8 +71,9 @@ class TestExchangeFaultFree:
         rng = make_rng(7)
         bits = rng.integers(0, 2, size=(n, n, width)).astype(np.uint8)
         present = np.ones((n, n), dtype=bool)
-        got = net.exchange_bits(bits, present)
+        got, dropped = net.exchange_bits(bits, present)
         assert np.array_equal(got, bits)
+        assert not dropped.any()
         assert net.rounds_used == -(-width // 16)
 
 
@@ -106,18 +107,15 @@ class TestExchangeUnderFaults:
         rng = make_rng(13)
         width = 22
         bits = rng.integers(0, 2, size=(self.N, self.N, width)).astype(np.uint8)
-        got = net.exchange_bits(bits, np.ones((self.N, self.N), dtype=bool))
+        got, dropped = net.exchange_bits(
+            bits, np.ones((self.N, self.N), dtype=bool))
         mask = self.faulty_mask()
         assert np.array_equal(got[~mask], bits[~mask])
         assert np.all(np.any(got[mask] != bits[mask], axis=-1))
+        # this attack flips content but never silences, so no drops
+        assert not dropped.any()
 
     def test_dropped_chunk_marks_entry_missing(self):
-        class DropChunkAdversary(FixedEdgesAdversary):
-            def corrupt(self, view, edges):
-                delivered = view.intended.copy()
-                delivered[np.asarray(edges, dtype=bool)] = -1  # silence
-                return delivered
-
         net = CongestedClique(
             self.N, bandwidth=3,
             adversary=DropChunkAdversary(self.ALPHA, self.EDGES))
@@ -126,3 +124,60 @@ class TestExchangeUnderFaults:
         mask = self.faulty_mask()
         assert np.all(got[mask] == -1)
         assert np.array_equal(got[~mask], intended[~mask])
+
+
+class DropChunkAdversary(FixedEdgesAdversary):
+    """Silences ("no message") every chunk crossing its faulty edges."""
+
+    def corrupt(self, view, edges):
+        delivered = view.intended.copy()
+        delivered[np.asarray(edges, dtype=bool)] = -1
+        return delivered
+
+
+class TestDropSignal:
+    """Regression: zero-filling dropped chunks must not erase the
+    adversary's "dropped" signal — ``exchange_words`` / ``exchange_bits``
+    return an explicit mask so a dropped payload is distinguishable from a
+    legitimate all-zero one."""
+
+    N = 8
+    EDGES = [(0, 3), (5, 6)]
+    ALPHA = 1 / 4
+
+    def faulty_mask(self):
+        mask = np.zeros((self.N, self.N), dtype=bool)
+        for u, v in self.EDGES:
+            mask[u, v] = mask[v, u] = True
+        return mask
+
+    def _net(self):
+        return CongestedClique(
+            self.N, bandwidth=4,
+            adversary=DropChunkAdversary(self.ALPHA, self.EDGES))
+
+    def test_exchange_bits_surfaces_drops(self):
+        # all-zero payloads everywhere: without the mask, dropped entries
+        # would be byte-identical to delivered ones
+        bits = np.zeros((self.N, self.N, 11), dtype=np.uint8)
+        got, dropped = self._net().exchange_bits(
+            bits, np.ones((self.N, self.N), dtype=bool))
+        mask = self.faulty_mask()
+        assert np.array_equal(dropped, mask)
+        assert not got.any()  # dropped chunks are still zero-filled
+
+    def test_exchange_words_surfaces_drops(self):
+        rng = make_rng(23)
+        words = rng.integers(0, 1 << 30, size=(self.N, self.N, 2)
+                             ).astype(np.uint64)
+        present = np.ones((self.N, self.N), dtype=bool)
+        present[0, 3] = False  # a faulty edge with nothing sent on it
+        got, dropped = self._net().exchange_words(words, present, width=128)
+        mask = self.faulty_mask()
+        # absent entries are never "dropped" — nothing was sent there
+        expected = mask & present
+        assert np.array_equal(dropped, expected)
+        clean = present & ~mask
+        assert np.array_equal(got[clean], words[clean])
+        assert not got[~present].any()
+        assert not got[mask].any()  # every chunk silenced -> zero-filled

@@ -87,7 +87,21 @@ class TestStore:
             fh.write('{"hash": "h2", "status"')  # interrupted write
         store = TrialStore(path)
         assert len(store) == 1
-        assert store.get("h1")["status"] == "ok"
+        assert store.get_by_hash("h1")["status"] == "ok"
+
+    def test_non_trialspec_keys_raise(self, tmp_path):
+        """Regression: a mistyped key type must not silently read as a
+        cache miss (re-running / double-recording the trial) — it raises."""
+        store = TrialStore()
+        store.append({"hash": "h1", "status": "ok"})
+        with pytest.raises(TypeError):
+            store.get("h1")
+        with pytest.raises(TypeError):
+            "h1" in store
+        with pytest.raises(TypeError):
+            store.get({"protocol": "det-sqrt"})
+        assert store.get_by_hash("h1")["status"] == "ok"
+        assert store.get_by_hash("missing") is None
 
     def test_memory_store(self):
         store = TrialStore()

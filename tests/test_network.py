@@ -122,8 +122,9 @@ class TestExchange:
         rng = np.random.default_rng(0)
         bits = rng.integers(0, 2, size=(4, 4, 13)).astype(np.uint8)
         present = np.ones((4, 4), dtype=bool)
-        out = net.exchange_bits(bits, present)
+        out, dropped = net.exchange_bits(bits, present)
         assert np.array_equal(out, bits)
+        assert not dropped.any()  # fault-free: nothing is ever dropped
         assert net.rounds_used == 3  # ceil(13 / 5)
 
     def test_exchange_bits_absent_zero_filled(self):
@@ -131,15 +132,68 @@ class TestExchange:
         bits = np.ones((4, 4, 6), dtype=np.uint8)
         present = np.zeros((4, 4), dtype=bool)
         present[0, 1] = True
-        out = net.exchange_bits(bits, present)
+        out, dropped = net.exchange_bits(bits, present)
         assert out[0, 1].all()
         assert not out[2, 3].any()
+        # absent entries are not "dropped": nothing was sent on them
+        assert not dropped.any()
 
     def test_exchange_bits_shape_check(self):
         net = CongestedClique(4)
         with pytest.raises(ValueError):
             net.exchange_bits(np.zeros((3, 3, 2), dtype=np.uint8),
                               np.ones((3, 3), dtype=bool))
+
+
+class TestRoundManyAdversarialParity:
+    """``round_many`` must be *semantically identical* to the equivalent
+    sequence of ``round()`` calls even with a live adversary attached —
+    same delivered stacks, same history entries, same round/bit/corruption
+    counters (the fast path may only engage on the fault-free clique)."""
+
+    N = 8
+    ROUNDS = 6
+
+    def _stack(self, seed):
+        rng = np.random.default_rng(seed)
+        stack = rng.integers(0, 8, size=(self.ROUNDS, self.N, self.N),
+                             dtype=np.int64)
+        stack[0, 1, 2] = -1  # an absent entry rides along
+        widths = [3] * self.ROUNDS
+        labels = [f"r{i}" for i in range(self.ROUNDS)]
+        return stack, widths, labels
+
+    def _nets(self):
+        from repro.adversary import AdaptiveAdversary
+        return (CongestedClique(self.N, bandwidth=4,
+                                adversary=AdaptiveAdversary(1 / 4, seed=9)),
+                CongestedClique(self.N, bandwidth=4,
+                                adversary=AdaptiveAdversary(1 / 4, seed=9)))
+
+    def test_bit_identical_to_round_sequence(self):
+        net_many, net_loop = self._nets()
+        stack, widths, labels = self._stack(3)
+        got_many = net_many.round_many(stack, widths, labels)
+        got_loop = np.stack([net_loop.round(stack[i], widths[i], labels[i])
+                             for i in range(self.ROUNDS)])
+        assert np.array_equal(got_many, got_loop)
+        # the adversary corrupted something, so the parity is non-trivial
+        assert net_loop.entries_corrupted > 0
+
+    def test_counters_and_history_match(self):
+        net_many, net_loop = self._nets()
+        stack, widths, labels = self._stack(4)
+        net_many.round_many(stack, widths, labels)
+        for i in range(self.ROUNDS):
+            net_loop.round(stack[i], widths[i], labels[i])
+        assert net_many.rounds_used == net_loop.rounds_used == self.ROUNDS
+        assert net_many.bits_sent == net_loop.bits_sent
+        assert net_many.entries_corrupted == net_loop.entries_corrupted
+        for h_many, h_loop in zip(net_many.history, net_loop.history):
+            assert h_many.index == h_loop.index
+            assert h_many.width == h_loop.width
+            assert h_many.label == h_loop.label
+            assert h_many.corrupted_entries == h_loop.corrupted_entries
 
 
 class TestHistory:

@@ -16,7 +16,10 @@ from repro.perf import (
 )
 from repro.perf.bench import (
     bench_linear_ml_decode,
+    bench_plane_staging,
+    bench_rs_batch_bm,
     bench_rs_symbol_decode,
+    store_rows,
 )
 from repro.perf import reference
 from repro.cliquesim.network import CongestedClique
@@ -34,6 +37,29 @@ class TestBenchEntries:
     def test_linear_ml_decode_entry(self):
         entry = bench_linear_ml_decode(64, 1)
         assert entry["batched_items_per_sec"] > 0
+
+    def test_rs_batch_bm_entry(self):
+        # the parity asserts inside the benchmark race the batched
+        # multi-row BM against the frozen per-row path, including the
+        # beyond-radius rows that must flag on both sides
+        entry = bench_rs_batch_bm(32, 1)
+        assert entry["items"] == 32
+        assert entry["speedup"] > 0
+
+    def test_plane_staging_entry(self):
+        entry = bench_plane_staging(8, 16, 7, 1)
+        assert entry["items"] == 8 * 8 * 16
+        assert entry["unit"] == "symbols"
+
+    def test_store_rows_keyed_per_run(self):
+        results = {"suite": "coding", "mode": "smoke", "python": "x",
+                   "numpy": "y", "benchmarks": {"a": {"speedup": 2.0}}}
+        first = store_rows(results, recorded_at=100.0)
+        second = store_rows(results, recorded_at=200.0)
+        assert first[0]["kind"] == "bench"
+        assert first[0]["entry"] == {"speedup": 2.0}
+        # distinct timestamps -> distinct hashes: runs append, never clobber
+        assert first[0]["hash"] != second[0]["hash"]
 
 
 class TestNetworkSuite:
@@ -63,8 +89,10 @@ class TestNetworkSuite:
         present = np.ones((n, n), dtype=bool)
         staged = reference.exchange_bits_staged(
             CongestedClique(n, bandwidth=7), bits, present)
-        packed = CongestedClique(n, bandwidth=7).exchange_bits(bits, present)
+        packed, dropped = CongestedClique(n, bandwidth=7).exchange_bits(
+            bits, present)
         assert np.array_equal(staged, packed)
+        assert not dropped.any()
 
 
 class TestRegressionGate:
@@ -85,6 +113,26 @@ class TestRegressionGate:
     def test_entries_without_speedup_ignored(self):
         baseline = {"benchmarks": {"e2e": {"batched_items_per_sec": 1.0}}}
         assert check_regression(baseline, {"benchmarks": {}}) == []
+
+    def test_smoke_runs_gate_on_smoke_speedup(self):
+        # batch speedups grow with batch size: smoke runs must be gated on
+        # the smoke-scale floor the full baseline recorded alongside
+        baseline = {"benchmarks": {
+            "x": {"speedup": 100.0, "smoke_speedup": 10.0}}}
+        ok_smoke = {"mode": "smoke", "benchmarks": {"x": {"speedup": 8.0}}}
+        assert check_regression(baseline, ok_smoke) == []  # 8 >= 10 / 2
+        bad_full = {"mode": "full", "benchmarks": {"x": {"speedup": 8.0}}}
+        assert check_regression(baseline, bad_full)  # 8 < 100 / 2
+
+    def test_full_only_entries_skipped_by_smoke_runs(self):
+        baseline = {"benchmarks": {
+            "exchange-bits-n256": {"speedup": 8.0, "full_only": True}}}
+        # a smoke run never measures the scale-sweep entry: not a failure
+        assert check_regression(
+            baseline, {"mode": "smoke", "benchmarks": {}}) == []
+        # a full run missing it still fails
+        assert check_regression(
+            baseline, {"mode": "full", "benchmarks": {}})
 
 
 class TestBenchCLI:

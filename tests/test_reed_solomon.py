@@ -95,6 +95,33 @@ class TestBatched:
         assert not failed.any()
         assert np.array_equal(decoded, msgs)
 
+    @pytest.mark.parametrize("m,n,k", [(8, 60, 40), (4, 12, 6), (6, 40, 20)])
+    def test_batch_bm_matches_scalar_oracle(self, m, n, k, rng):
+        """The vectorised multi-row Berlekamp–Massey must agree with the
+        per-word scalar BM (its parity oracle) row by row — locator buffer
+        and LFSR length — on arbitrary syndromes, i.e. including rows
+        corrupted beyond the decoding radius."""
+        codec = ReedSolomonCodec(GF2m(m), n=n, k=k)
+        words = codec.encode_many(
+            rng.integers(0, codec.field.order, size=(80, k)))
+        for i in range(80):  # 1..2t symbol errors: half beyond the radius
+            errors = int(rng.integers(1, 2 * codec.t + 1))
+            positions = rng.choice(n, errors, replace=False)
+            words[i, positions] ^= rng.integers(1, codec.field.order, errors)
+        synd = codec.syndromes_many(words)
+        dirty = np.flatnonzero(synd.any(axis=1))
+        assert dirty.size  # the corruption above must leave dirty rows
+        batch_sigmas, batch_lengths = codec._berlekamp_massey_many(synd[dirty])
+        width = batch_sigmas.shape[1]
+        for row in range(dirty.size):
+            sigma, length = codec._berlekamp_massey(
+                synd[dirty[row]].tolist())
+            assert length == batch_lengths[row]
+            padded = np.zeros(max(width, sigma.size), dtype=np.int64)
+            padded[:sigma.size] = sigma
+            assert not padded[width:].any()  # deg(sigma) <= L <= 2t always
+            assert np.array_equal(padded[:width], batch_sigmas[row])
+
     def test_decode_many_flags_hopeless_rows(self, codec, rng):
         msgs = rng.integers(0, 256, size=(4, 20))
         words = codec.encode_many(msgs)
