@@ -57,6 +57,8 @@ class RoundOutcome:
     delivered: np.ndarray
     fault_edges: Optional[np.ndarray] = None
     corrupted_entries: int = 0
+    #: bits actually sent this round (width x off-diagonal non-"-1" entries)
+    bits: int = 0
     label: str = ""
     extra: dict = field(default_factory=dict)
 

@@ -9,15 +9,20 @@ Usage (after ``pip install -e .``):
     python -m repro experiment run --campaign table1 --jobs 4
     python -m repro experiment resume --campaign table1
     python -m repro experiment report --store runs/table1.jsonl
+    python -m repro experiment watch --store runs/table1.jsonl
     python -m repro experiment list
     python -m repro bench --smoke --check
     python -m repro bench --store runs/bench.jsonl
+    python -m repro bench trend --store runs/bench.jsonl
+    python -m repro trace record --protocol adaptive --out runs/trace.jsonl
+    python -m repro trace show runs/trace.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
@@ -42,27 +47,45 @@ def _adversary(kind: str, alpha: float, seed: int):
 
 
 def _run_once(protocol_name: str, n: int, alpha: float, adversary_kind: str,
-              bandwidth: int, seed: int, show_phases: bool):
+              bandwidth: int, seed: int, show_phases: bool,
+              trace_path=None):
+    from repro.obs import tracing
     instance = AllToAllInstance.random(n, width=1, seed=seed)
     protocol = make_protocol(protocol_name)
     adversary = _adversary(adversary_kind, alpha, seed + 1)
     net = CongestedClique(n, bandwidth=bandwidth, adversary=adversary)
-    beliefs = protocol.run(instance, net, seed=seed + 2)
+    if trace_path:
+        with tracing.trace("run", protocol=protocol_name, n=n, alpha=alpha,
+                           adversary=adversary_kind, bandwidth=bandwidth,
+                           seed=seed) as tracer:
+            with tracer.span("run"):
+                beliefs = protocol.run(instance, net, seed=seed + 2)
+        tracer.write_jsonl(trace_path)
+    else:
+        beliefs = protocol.run(instance, net, seed=seed + 2)
     correct = verify_beliefs(instance, beliefs)
+    diag = getattr(protocol, "diagnostics", None) or {}
+    dropped = sum(v for k, v in diag.items()
+                  if "dropped" in k and isinstance(v, int))
     print(f"protocol={protocol_name} n={n} alpha={alpha:.5f} "
           f"adversary={adversary_kind if alpha > 0 else 'none'}")
     print(f"rounds={net.rounds_used} bits={net.bits_sent} "
-          f"corrupted_in_transit={net.entries_corrupted}")
+          f"corrupted_in_transit={net.entries_corrupted} "
+          f"dropped_in_transit={dropped}")
     print(f"accuracy={correct}/{n * n} = {correct / (n * n):.4%}")
     if show_phases:
         print("\nper-phase breakdown:")
         print(format_breakdown(net))
+    if trace_path:
+        print(f"trace -> {trace_path} "
+              f"({len(tracing.load_jsonl(trace_path))} events)")
     return correct == n * n
 
 
 def cmd_run(args) -> int:
     ok = _run_once(args.protocol, args.n, args.alpha, args.adversary,
-                   args.bandwidth, args.seed, args.phases)
+                   args.bandwidth, args.seed, args.phases,
+                   trace_path=args.trace)
     return 0 if ok else 1
 
 
@@ -155,12 +178,20 @@ def _run_experiment(args, resume: bool) -> int:
     print(f"campaign {spec.name!r}: {total} trials -> {store_path} "
           f"(jobs={args.jobs}, resume={resume})")
 
+    start = time.perf_counter()
+
     def progress(done, pending, row):
         trial = row["trial"]
+        elapsed = time.perf_counter() - start
+        rate = done / elapsed if elapsed > 0 else 0.0
+        remaining = (pending - done) / rate if rate > 0 else None
+        eta = (f"eta {int(remaining) // 60}:{int(remaining) % 60:02d}"
+               if remaining is not None else "eta --:--")
         print(f"  [{done}/{pending}] {trial['protocol']:>12} "
               f"{trial['adversary']:>13} n={trial['n']:<4} "
               f"alpha={trial['alpha']:<8.5f} r{trial['replicate']} "
-              f"-> {row['status']}", flush=True)
+              f"-> {row['status']} | {rate:.2f} trials/s | {eta}",
+              flush=True)
 
     result = run_campaign(spec, store=store_path, jobs=args.jobs,
                           resume=resume,
@@ -199,9 +230,60 @@ def cmd_experiment_report(args) -> int:
     return 0
 
 
+def cmd_experiment_watch(args) -> int:
+    from repro.obs.watch import watch
+    return watch(args.store, interval=args.interval, once=args.once)
+
+
+def cmd_trace_record(args) -> int:
+    ok = _run_once(args.protocol, args.n, args.alpha, args.adversary,
+                   args.bandwidth, args.seed, show_phases=False,
+                   trace_path=args.out)
+    return 0 if ok else 1
+
+
+def cmd_trace_show(args) -> int:
+    from repro.obs import tracing
+    rows = tracing.load_jsonl(args.path)
+    if not rows:
+        print(f"no trace events in {args.path}")
+        return 1
+    summary = tracing.summarize(rows)
+    meta = {k: v for k, v in summary.meta.items()
+            if k not in ("kind", "t")}
+    print(f"trace {args.path}: {len(rows)} events, {meta}")
+    print()
+    print(tracing.render_summary(summary))
+    if summary.spans:
+        print("\nspans:")
+        for span in summary.spans:
+            duration = (span["t1"] - span["t0"]) * 1e3
+            print(f"  {'  ' * span.get('depth', 0)}{span['name']:<28} "
+                  f"{duration:>10.2f} ms")
+    return 0
+
+
+def cmd_bench_trend(args) -> int:
+    from repro.obs.trend import bench_trends, load_bench_rows, render_trends
+    if not args.store:
+        print("bench trend requires --store")
+        return 2
+    trends = bench_trends(load_bench_rows(args.store))
+    print(render_trends(trends, factor=args.check_factor))
+    if args.check and any(t.regressed(args.check_factor) for t in trends):
+        return 1
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.perf import (SUITE_FILES, check_regression, load_baseline,
                             run_suite, store_rows, write_results)
+    if getattr(args, "action", "run") == "trend":
+        return cmd_bench_trend(args)
+    from repro.obs import metrics
+    if metrics.enabled():
+        print("warning: REPRO_OBS_METRICS is on — benchmark timings "
+              "include instrumentation overhead", flush=True)
     suites = sorted(SUITE_FILES) if args.suite == "all" else [args.suite]
     status = 0
     store = None
@@ -283,6 +365,8 @@ def build_parser() -> argparse.ArgumentParser:
                      default="det-sqrt")
     run.add_argument("--phases", action="store_true",
                      help="print the per-phase round breakdown")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="record a structured JSONL trace of the run")
     common(run)
     run.set_defaults(func=cmd_run)
 
@@ -344,12 +428,43 @@ def build_parser() -> argparse.ArgumentParser:
                               "the campaign that filled the store)")
     ereport.set_defaults(func=cmd_experiment_report)
 
+    ewatch = esub.add_parser(
+        "watch", help="live progress of a campaign by tailing its store")
+    ewatch.add_argument("--store", required=True)
+    ewatch.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between snapshots")
+    ewatch.add_argument("--once", action="store_true",
+                        help="print one snapshot and exit (scripting/CI)")
+    ewatch.set_defaults(func=cmd_experiment_watch)
+
     elist = esub.add_parser("list", help="list campaigns and adversaries")
     elist.set_defaults(func=cmd_experiment_list)
+
+    trace = sub.add_parser(
+        "trace", help="structured protocol traces (record | show)")
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trecord = tsub.add_parser("record",
+                              help="run a protocol with tracing enabled")
+    trecord.add_argument("--protocol", choices=sorted(PROTOCOLS),
+                         default="det-sqrt")
+    trecord.add_argument("--out", default="runs/trace.jsonl",
+                         help="JSONL trace output path")
+    common(trecord)
+    trecord.set_defaults(func=cmd_trace_record)
+
+    tshow = tsub.add_parser("show",
+                            help="pretty-print / aggregate a recorded trace")
+    tshow.add_argument("path", help="trace JSONL file")
+    tshow.set_defaults(func=cmd_trace_show)
 
     bench = sub.add_parser(
         "bench", help="payload-path microbenchmarks "
         "(batched kernels vs frozen per-word references)")
+    bench.add_argument("action", nargs="?", choices=("run", "trend"),
+                       default="run",
+                       help="'run' executes the suites (default); 'trend' "
+                            "reports speedup-over-time from a --store file")
     bench.add_argument("--suite", choices=("coding", "network", "all"),
                        default="all")
     bench.add_argument("--smoke", action="store_true",

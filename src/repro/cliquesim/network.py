@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.adversary.base import Adversary, NullAdversary, RoundOutcome, RoundView
 from repro.adversary.budget import validate_fault_set
+from repro.obs import metrics, tracing
 from repro.utils.bits import WORD_BITS, pack_bits, unpack_bits, words_per_width
 
 #: per-round payloads live in int64 matrices with -1 as "no message", so a
@@ -80,9 +81,12 @@ class CongestedClique:
                     edges: Optional[np.ndarray], width: int,
                     label: str) -> None:
         """Shared per-round accounting (history, round/bit/corruption
-        counters)."""
+        counters, observability hooks)."""
         corrupted = 0 if edges is None \
             else int(np.count_nonzero(delivered != intended))
+        sent_entries = (int(np.count_nonzero(intended >= 0))
+                        - int(np.count_nonzero(np.diag(intended) >= 0)))
+        bits = width * sent_entries
         self.history.append(RoundOutcome(
             index=self.rounds_used,
             width=width,
@@ -90,13 +94,18 @@ class CongestedClique:
             delivered=delivered if self.record_full_history else None,
             fault_edges=edges if self.record_full_history else None,
             corrupted_entries=corrupted,
+            bits=bits,
             label=label,
         ))
         self.rounds_used += 1
-        sent_entries = (int(np.count_nonzero(intended >= 0))
-                        - int(np.count_nonzero(np.diag(intended) >= 0)))
-        self.bits_sent += width * sent_entries
+        self.bits_sent += bits
         self.entries_corrupted += corrupted
+        metrics.count("net.rounds")
+        metrics.count("net.bits", bits)
+        tracer = tracing.active()
+        if tracer is not None:
+            tracer.round_event(index=self.rounds_used - 1, label=label,
+                               width=width, bits=bits, corrupted=corrupted)
 
     def round(self, intended: np.ndarray, width: Optional[int] = None,
               label: str = "") -> np.ndarray:
@@ -148,21 +157,22 @@ class CongestedClique:
             raise ValueError("one label per round required")
         if count == 0:
             return intended_stack.copy()
-        if not self.fault_free():
-            return np.stack([
-                self.round(intended_stack[i], widths[i], labels[i])
-                for i in range(count)])
-        max_width = max(widths)
-        self._check_width(max_width)
-        for i, width in enumerate(widths):
-            self._check_width(width)
-            if width < max_width:
-                self._check_payload(intended_stack[i], width)
-        self._check_payload(intended_stack, max_width)
-        for i, width in enumerate(widths):
-            self._book_round(intended_stack[i], intended_stack[i], None,
-                             width, labels[i])
-        return intended_stack.copy()
+        with metrics.timed("net.round_many"):
+            if not self.fault_free():
+                return np.stack([
+                    self.round(intended_stack[i], widths[i], labels[i])
+                    for i in range(count)])
+            max_width = max(widths)
+            self._check_width(max_width)
+            for i, width in enumerate(widths):
+                self._check_width(width)
+                if width < max_width:
+                    self._check_payload(intended_stack[i], width)
+            self._check_payload(intended_stack, max_width)
+            for i, width in enumerate(widths):
+                self._book_round(intended_stack[i], intended_stack[i], None,
+                                 width, labels[i])
+            return intended_stack.copy()
 
     @staticmethod
     def _chunk_spans(width: int, bandwidth: int):
@@ -250,8 +260,18 @@ class CongestedClique:
         chunks = np.ascontiguousarray(
             (value & masks).astype(np.int64).transpose(2, 0, 1))
         chunks[:, ~present] = -1
-        got = self.round_many(chunks, [int(t) for t in takes], list(labels))
+        with metrics.timed("net.exchange_words"):
+            got = self.round_many(chunks, [int(t) for t in takes],
+                                  list(labels))
         dropped = present & (got < 0).any(axis=0)
+        tracer = tracing.active()
+        if tracer is not None or metrics.enabled():
+            n_dropped = int(np.count_nonzero(dropped))
+            metrics.count("net.dropped_entries", n_dropped)
+            if tracer is not None:
+                tracer.transport_event(
+                    label=label or (labels[0] if labels else ""),
+                    width=width, chunks=len(spans), dropped=n_dropped)
         got = np.where(got < 0, 0, got).astype(np.uint64)
         out = np.zeros_like(words)
         for part, (start, take) in enumerate(spans):

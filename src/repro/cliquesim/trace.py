@@ -25,6 +25,7 @@ class PhaseStats:
     rounds: int = 0
     corrupted_entries: int = 0
     total_width: int = 0
+    total_bits: int = 0
 
     @property
     def mean_width(self) -> float:
@@ -47,6 +48,7 @@ def phase_breakdown(history: List[RoundOutcome]) -> "OrderedDict[str, PhaseStats
         stats.rounds += 1
         stats.corrupted_entries += outcome.corrupted_entries
         stats.total_width += outcome.width
+        stats.total_bits += outcome.bits
     return phases
 
 
@@ -54,13 +56,14 @@ def format_breakdown(net: CongestedClique) -> str:
     """Human-readable per-phase table for a finished execution."""
     phases = phase_breakdown(net.history)
     lines = [f"{'phase':>16} {'rounds':>7} {'corrupted':>10} "
-             f"{'mean width':>11}"]
+             f"{'mean width':>11} {'bits':>12}"]
     for stats in phases.values():
         lines.append(f"{stats.phase:>16} {stats.rounds:>7} "
                      f"{stats.corrupted_entries:>10} "
-                     f"{stats.mean_width:>11.1f}")
+                     f"{stats.mean_width:>11.1f} {stats.total_bits:>12,}")
     lines.append(f"{'TOTAL':>16} {net.rounds_used:>7} "
-                 f"{net.entries_corrupted:>10}")
+                 f"{net.entries_corrupted:>10} {'':>11} "
+                 f"{net.bits_sent:>12,}")
     return "\n".join(lines)
 
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.coding.interfaces import BinaryCode, DecodingFailure
 from repro.fields.gf2m import GF2m
+from repro.obs import metrics
 from repro.utils.bits import BitArray, as_bits
 
 
@@ -163,11 +164,17 @@ class ReedSolomonCodec:
         words = np.asarray(words, dtype=np.int64)
         if words.ndim != 2 or words.shape[1] != self.n:
             raise ValueError(f"expected shape (*, {self.n})")
+        with metrics.timed("rs.correct_many"):
+            return self._correct_many(words)
+
+    def _correct_many(self, words: np.ndarray):
         count = words.shape[0]
+        metrics.count("rs.words", count)
         corrected = words.copy()
         failed = np.zeros(count, dtype=bool)
         syndromes = self.syndromes_many(words)
         dirty = np.flatnonzero(syndromes.any(axis=1))
+        metrics.count("rs.dirty_rows", int(dirty.size))
         if dirty.size == 0:
             return corrected, failed
         field = self.field
@@ -175,7 +182,8 @@ class ReedSolomonCodec:
         synd = syndromes[dirty]
 
         # error locators: all dirty rows walk Berlekamp–Massey in lockstep
-        full_sigmas, num_errors = self._berlekamp_massey_many(synd)
+        with metrics.timed("rs.batch_bm"):
+            full_sigmas, num_errors = self._berlekamp_massey_many(synd)
         ok = (num_errors <= self.t) \
             & ~full_sigmas[:, self.t + 1:].any(axis=1)
         sigmas = np.where(ok[:, None], full_sigmas[:, :self.t + 1], 0)
@@ -208,6 +216,7 @@ class ReedSolomonCodec:
         good = dirty[ok]
         corrected[good] = patched[ok]
         failed[dirty[~ok]] = True
+        metrics.count("rs.failed_rows", int(failed.sum()))
         return corrected, failed
 
     def decode_many_flagged(self, words: np.ndarray):

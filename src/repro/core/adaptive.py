@@ -56,6 +56,7 @@ from repro.core.protocol import (
 )
 from repro.core.routing import SuperMessage, SuperMessageRouter, broadcast
 from repro.fields.gfp import is_prime
+from repro.obs import metrics, tracing
 from repro.sketch.ksparse import KSparseSketch, SketchRecoveryError, SketchSpec
 from repro.utils.bits import pack_symbols, unpack_symbols
 from repro.utils.rng import derive, fresh_seed
@@ -247,30 +248,33 @@ class AdaptiveAllToAll(AllToAllProtocol):
         # group block unpacks in one batched call, the remaining loop is the
         # sketch updates themselves
         sketch_bits = {}  # (j, v) -> t_pad bits
-        for j in range(num_parts):
-            group = members[j].astype(np.int64)
-            for i in range(part_size):
-                holder = int(members[j][i])
-                stacked = np.stack([routed.outputs[holder][(int(u), i)]
-                                    for u in members[j]])
-                # row per source u in P_j, column per target v in S_i
-                values_ji = unpack_rows(stacked, num_parts, width)
-                base = int(segments[i][0])
-                for v in segments[i]:
-                    v = int(v)
-                    sk = KSparseSketch(spec, r2)
-                    # element ids exceed int64 once width + 2*log2(n) >= 63,
-                    # so this arithmetic must stay in Python ints (the
-                    # subtraction path in Step IV uses the same form)
-                    column = values_ji[:, v - base]
-                    for row, u in enumerate(group):
-                        element = ((int(u) * n + v) << width) \
-                            | int(column[row])
-                        sk.add(element, 1)
-                    raw = sk.to_bits()
-                    padded = np.zeros(t_pad, dtype=np.uint8)
-                    padded[:raw.size] = raw
-                    sketch_bits[(j, v)] = padded
+        with tracing.maybe_span("adaptive/sketch-build"), \
+                metrics.timed("adaptive.sketch_build"):
+            for j in range(num_parts):
+                group = members[j].astype(np.int64)
+                for i in range(part_size):
+                    holder = int(members[j][i])
+                    stacked = np.stack([routed.outputs[holder][(int(u), i)]
+                                        for u in members[j]])
+                    # row per source u in P_j, column per target v in S_i
+                    values_ji = unpack_rows(stacked, num_parts, width)
+                    base = int(segments[i][0])
+                    for v in segments[i]:
+                        v = int(v)
+                        sk = KSparseSketch(spec, r2)
+                        # element ids exceed int64 once
+                        # width + 2*log2(n) >= 63, so this arithmetic must
+                        # stay in Python ints (the subtraction path in
+                        # Step IV uses the same form)
+                        column = values_ji[:, v - base]
+                        for row, u in enumerate(group):
+                            element = ((int(u) * n + v) << width) \
+                                | int(column[row])
+                            sk.add(element, 1)
+                        raw = sk.to_bits()
+                        padded = np.zeros(t_pad, dtype=np.uint8)
+                        padded[:raw.size] = raw
+                        sketch_bits[(j, v)] = padded
 
         # ===== Step II(b) continued: ship sketches to piece leaders ==========
         # (Lemma 5.8) piece ell holds the sketches of nodes
@@ -471,34 +475,37 @@ class AdaptiveAllToAll(AllToAllProtocol):
         beliefs = tilde.copy()
         recovered_count = 0
         failed_sketches = 0
-        for v in range(n):
-            for j in range(num_parts):
-                if not sketch_ok[(j, v)]:
-                    failed_sketches += 1
-                    continue
-                try:
-                    sk = KSparseSketch.from_bits(
-                        spec, r2, decoded_sketches[(j, v)][:t_bits])
-                    for u in members[j]:
-                        u = int(u)
-                        element = (u * n + v) * (1 << width) + int(tilde[u, v])
-                        sk.add(element, -1)
-                    survivors = sk.recover()
-                except (SketchRecoveryError, ValueError):
-                    failed_sketches += 1
-                    continue
-                for element, frequency in survivors.items():
-                    if frequency != 1:
-                        continue  # the -1 entries are v's own wrong copies
-                    payload_val = element % (1 << width)
-                    pair = element >> width
-                    u, v_check = divmod(pair, n)
-                    if v_check != v or not (0 <= u < n):
+        with tracing.maybe_span("adaptive/sketch-subtract"), \
+                metrics.timed("adaptive.sketch_subtract"):
+            for v in range(n):
+                for j in range(num_parts):
+                    if not sketch_ok[(j, v)]:
+                        failed_sketches += 1
                         continue
-                    if int(part_of[u]) != j:
+                    try:
+                        sk = KSparseSketch.from_bits(
+                            spec, r2, decoded_sketches[(j, v)][:t_bits])
+                        for u in members[j]:
+                            u = int(u)
+                            element = (u * n + v) * (1 << width) \
+                                + int(tilde[u, v])
+                            sk.add(element, -1)
+                        survivors = sk.recover()
+                    except (SketchRecoveryError, ValueError):
+                        failed_sketches += 1
                         continue
-                    beliefs[u, v] = payload_val
-                    recovered_count += 1
+                    for element, frequency in survivors.items():
+                        if frequency != 1:
+                            continue  # -1 entries are v's own wrong copies
+                        payload_val = element % (1 << width)
+                        pair = element >> width
+                        u, v_check = divmod(pair, n)
+                        if v_check != v or not (0 <= u < n):
+                            continue
+                        if int(part_of[u]) != j:
+                            continue
+                        beliefs[u, v] = payload_val
+                        recovered_count += 1
 
         self.diagnostics = {
             "num_parts": num_parts,

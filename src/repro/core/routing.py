@@ -42,6 +42,7 @@ import numpy as np
 from repro.cliquesim.network import CongestedClique
 from repro.core.profiles import ProfileError, ProtocolProfile, SIMULATION
 from repro.coverfree.random_construction import build_cover_free_family
+from repro.obs import metrics, tracing
 from repro.utils.bits import as_bits
 from repro.utils.rng import derive
 
@@ -118,6 +119,12 @@ class SuperMessageRouter:
     # -- public entry ----------------------------------------------------------
     def route(self, messages: Sequence[SuperMessage],
               label: str = "routing") -> RoutingResult:
+        with metrics.timed("routing.route"), \
+                tracing.maybe_span(f"{label}/route", messages=len(messages)):
+            return self._route(messages, label)
+
+    def _route(self, messages: Sequence[SuperMessage],
+               label: str) -> RoutingResult:
         net = self.net
         n = net.n
         alpha = net.adversary.alpha

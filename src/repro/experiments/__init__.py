@@ -23,6 +23,16 @@ Quickstart::
                           store="runs/table1.jsonl")
     for cell in aggregate(result.rows()):
         print(cell.protocol, cell.alpha, cell.accuracy.mean)
+
+Observability row schema: every trial row carries ``wall_seconds``
+(trial execution time) and ``recorded_unix`` (wall-clock completion
+stamp — what ``repro experiment watch`` derives its throughput/ETA from);
+with ``REPRO_OBS_METRICS=1`` each row also embeds a ``metrics`` snapshot
+(counters/timers/histograms from :mod:`repro.obs.metrics`, scoped to that
+trial).  ``repro bench --store`` rows (``kind == "bench"``) feed
+``repro bench trend``.  Structured protocol traces use a separate JSONL
+schema — see :mod:`repro.obs.tracing` (``meta``/``round``/``transport``/
+``span`` events, schema version in the ``meta`` line).
 """
 
 from repro.experiments.aggregate import (

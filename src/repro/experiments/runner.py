@@ -17,6 +17,7 @@ will not re-run them.
 
 from __future__ import annotations
 
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -73,8 +74,15 @@ def run_single(trial: TrialSpec,
     from repro.core.alltoall import make_protocol, run_protocol
     from repro.core.messages import AllToAllInstance
     from repro.core.profiles import ProfileError
+    from repro.obs import metrics
 
     base = {"hash": trial.content_hash(), "trial": trial.to_dict()}
+    start = time.perf_counter()
+    if metrics.enabled():
+        # one snapshot per trial: the registry is per-process, so each
+        # worker scopes it to the trial it is about to run
+        metrics.reset()
+    report = None
     try:
         protocol = (protocol_factory() if protocol_factory is not None
                     else make_protocol(trial.protocol))
@@ -88,21 +96,24 @@ def run_single(trial: TrialSpec,
                               seed=trial.protocol_seed)
     except ProfileError as exc:
         row = dict(base, status=STATUS_UNSUPPORTED, reason=str(exc))
-        return row, None
     except Exception as exc:  # noqa: BLE001 — containment is the contract
         row = dict(base, status=STATUS_ERROR, reason=repr(exc),
                    traceback=traceback.format_exc())
-        return row, None
-    row = dict(
-        base,
-        status=STATUS_OK,
-        rounds=report.rounds,
-        bits_sent=report.bits_sent,
-        accuracy=report.accuracy,
-        correct_entries=report.correct_entries,
-        total_entries=report.total_entries,
-        entries_corrupted=report.entries_corrupted_in_transit,
-    )
+    else:
+        row = dict(
+            base,
+            status=STATUS_OK,
+            rounds=report.rounds,
+            bits_sent=report.bits_sent,
+            accuracy=report.accuracy,
+            correct_entries=report.correct_entries,
+            total_entries=report.total_entries,
+            entries_corrupted=report.entries_corrupted_in_transit,
+        )
+    row["wall_seconds"] = round(time.perf_counter() - start, 6)
+    row["recorded_unix"] = round(time.time(), 6)
+    if metrics.enabled():
+        row["metrics"] = metrics.snapshot()
     return row, report
 
 

@@ -13,6 +13,8 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.obs import metrics
+
 # Primitive polynomials (including the x^m term) for the field sizes we use.
 _PRIMITIVE_POLY: Dict[int, int] = {
     2: 0b111,
@@ -133,17 +135,21 @@ class GF2m:
         b = np.asarray(b, dtype=np.int64)
         if a.shape[1] != b.shape[0]:
             raise ValueError(f"shape mismatch {a.shape} @ {b.shape}")
-        out = np.zeros((a.shape[0], b.shape[1]), dtype=np.int64)
-        contraction = a.shape[1]
-        block = max(1, (1 << 21) // max(1, out.size))
-        for k0 in range(0, contraction, block):
-            a_blk = a[:, k0:k0 + block]
-            b_blk = b[k0:k0 + block, :]
-            logs = self._log[a_blk][:, :, None] + self._log[b_blk][None, :, :]
-            prod = self._exp[logs]
-            prod *= (a_blk != 0)[:, :, None] & (b_blk != 0)[None, :, :]
-            out ^= np.bitwise_xor.reduce(prod, axis=1)
-        return out
+        with metrics.timed("gf2m.matmul"):
+            metrics.count("gf2m.matmul_ops",
+                          a.shape[0] * a.shape[1] * b.shape[1])
+            out = np.zeros((a.shape[0], b.shape[1]), dtype=np.int64)
+            contraction = a.shape[1]
+            block = max(1, (1 << 21) // max(1, out.size))
+            for k0 in range(0, contraction, block):
+                a_blk = a[:, k0:k0 + block]
+                b_blk = b[k0:k0 + block, :]
+                logs = (self._log[a_blk][:, :, None]
+                        + self._log[b_blk][None, :, :])
+                prod = self._exp[logs]
+                prod *= (a_blk != 0)[:, :, None] & (b_blk != 0)[None, :, :]
+                out ^= np.bitwise_xor.reduce(prod, axis=1)
+            return out
 
     def pow_alpha(self, e: int) -> int:
         """alpha**e for the primitive element alpha."""

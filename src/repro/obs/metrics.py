@@ -1,0 +1,195 @@
+"""Process-wide metrics registry: counters, timers, histograms.
+
+Instrumentation for the payload-path hot loops.  The contract that makes it
+safe to leave the calls in shipped kernels:
+
+* **Off by default.**  The module-level enabled flag starts False (or from
+  the ``REPRO_OBS_METRICS`` environment variable, which is what lets
+  campaign worker processes inherit the setting).
+* **The disabled path is a no-op.**  :func:`count` and :func:`observe`
+  return after one flag check; :func:`timed` hands back a shared no-op
+  context manager.  No dict lookups, no string formatting, no time calls —
+  the measured overhead with metrics off stays within noise of the
+  committed ``BENCH_*.json`` baselines (CI asserts this by running
+  ``repro bench --smoke --check`` with observability disabled).
+* **Plain-dict state.**  The registry is per-process and JSON-ready;
+  :func:`snapshot` is what the experiments runner embeds into trial rows.
+
+Usage in a kernel::
+
+    from repro.obs import metrics
+
+    with metrics.timed("rs.correct_many"):
+        ...
+    metrics.count("rs.words", count)
+
+and in a measurement harness::
+
+    metrics.enable()           # or REPRO_OBS_METRICS=1, or metrics.use()
+    ... run the workload ...
+    print(metrics.snapshot())
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+_ENV_FLAG = "REPRO_OBS_METRICS"
+
+
+class _NoopTimer:
+    """Shared do-nothing context manager returned while metrics are off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopTimer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP_TIMER = _NoopTimer()
+
+
+class _Timer:
+    """Records one duration into the active registry on exit."""
+
+    __slots__ = ("_name", "_t0")
+
+    def __init__(self, name: str):
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if _enabled:  # respect a disable() that happened mid-span
+            _registry.add_time(self._name, time.perf_counter() - self._t0)
+        return False
+
+
+class MetricsRegistry:
+    """Mutable metric state for one process (plain dicts, JSON-ready)."""
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, list] = {}       # name -> [count, seconds]
+        self.histograms: Dict[str, dict] = {}   # name -> stats dict
+
+    def add_count(self, name: str, value) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def add_time(self, name: str, seconds: float) -> None:
+        slot = self.timers.get(name)
+        if slot is None:
+            self.timers[name] = [1, seconds]
+        else:
+            slot[0] += 1
+            slot[1] += seconds
+
+    def add_observation(self, name: str, value: float) -> None:
+        stats = self.histograms.get(name)
+        if stats is None:
+            stats = self.histograms[name] = {
+                "count": 0, "total": 0.0,
+                "min": value, "max": value, "buckets": {}}
+        stats["count"] += 1
+        stats["total"] += value
+        stats["min"] = min(stats["min"], value)
+        stats["max"] = max(stats["max"], value)
+        # power-of-two buckets keep the histogram O(log range) regardless of
+        # how many observations land in it
+        bucket = int(math.floor(math.log2(value))) if value > 0 else -1
+        stats["buckets"][bucket] = stats["buckets"].get(bucket, 0) + 1
+
+    def snapshot(self) -> Dict:
+        return {
+            "counters": dict(self.counters),
+            "timers": {name: {"count": c, "seconds": round(s, 9)}
+                       for name, (c, s) in self.timers.items()},
+            "histograms": {
+                name: {"count": h["count"], "total": round(h["total"], 9),
+                       "min": h["min"], "max": h["max"],
+                       "log2_buckets": {str(k): v
+                                        for k, v in sorted(h["buckets"].items())}}
+                for name, h in self.histograms.items()},
+        }
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.timers or self.histograms)
+
+
+_enabled: bool = os.environ.get(_ENV_FLAG, "") not in ("", "0", "false",
+                                                       "False")
+_registry = MetricsRegistry()
+
+
+def enabled() -> bool:
+    """Whether instrumentation is currently recording."""
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Drop all recorded metrics (the registry object is replaced, so
+    in-flight timers of the old epoch are discarded cleanly)."""
+    global _registry
+    _registry = MetricsRegistry()
+
+
+def count(name: str, value=1) -> None:
+    """Increment a counter (no-op while disabled)."""
+    if not _enabled:
+        return
+    _registry.add_count(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram observation (no-op while disabled)."""
+    if not _enabled:
+        return
+    _registry.add_observation(name, value)
+
+
+def timed(name: str):
+    """Context manager timing a block; the shared no-op while disabled."""
+    if not _enabled:
+        return _NOOP_TIMER
+    return _Timer(name)
+
+
+def snapshot(reset_after: bool = False) -> Dict:
+    """A JSON-ready copy of all recorded metrics."""
+    out = _registry.snapshot()
+    if reset_after:
+        reset()
+    return out
+
+
+@contextmanager
+def use(on: bool = True):
+    """Temporarily toggle metrics with a fresh registry (tests and
+    one-shot measurements); restores the previous flag *and* registry."""
+    global _enabled, _registry
+    saved_enabled, saved_registry = _enabled, _registry
+    _enabled, _registry = on, MetricsRegistry()
+    try:
+        yield _registry
+    finally:
+        _enabled, _registry = saved_enabled, saved_registry

@@ -1,0 +1,173 @@
+"""Live campaign observability: tail a JSONL trial store for progress.
+
+``repro experiment watch --store runs/x.jsonl`` renders, every interval:
+done/expected trials, per-status counts, measured throughput (trials/s from
+the ``recorded_unix`` stamps the runner writes into every row) and the ETA
+for the remaining work.  The expected total comes from the ``campaign`` row
+the runner prepends to the store (its spec is re-expanded with
+:class:`~repro.experiments.spec.ExperimentSpec`), so a watcher needs no
+access to the running process — any shell, any host sharing the file.
+
+Everything here is a pure function over the row list except the
+:func:`watch` loop itself, so the rendering is unit-testable on synthetic
+stores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+def read_rows(path: str) -> List[Dict]:
+    """All rows of a JSONL store, in file order; duplicate hashes are kept
+    (the last write wins for totals via the hash-keyed pass in
+    :func:`snapshot`), torn lines are skipped."""
+    rows: List[Dict] = []
+    if not os.path.exists(path):
+        return rows
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final line of an in-flight append
+            if isinstance(row, dict):
+                rows.append(row)
+    return rows
+
+
+@dataclass
+class WatchState:
+    """One snapshot of a campaign store."""
+
+    path: str
+    campaign: Optional[str] = None
+    expected: Optional[int] = None
+    done: int = 0
+    ok: int = 0
+    errors: int = 0
+    unsupported: int = 0
+    rate: Optional[float] = None           # trials/s
+    eta_seconds: Optional[float] = None
+    last_row: Optional[Dict] = None
+
+    @property
+    def pending(self) -> Optional[int]:
+        if self.expected is None:
+            return None
+        return max(0, self.expected - self.done)
+
+    @property
+    def finished(self) -> bool:
+        return self.expected is not None and self.done >= self.expected
+
+
+def _spec_size(spec_dict: Optional[Dict]) -> Optional[int]:
+    if not spec_dict:
+        return None
+    try:
+        from repro.experiments.spec import ExperimentSpec
+        return ExperimentSpec.from_dict(spec_dict).size()
+    except Exception:  # noqa: BLE001 — a malformed spec must not kill watch
+        return None
+
+
+def snapshot(rows: List[Dict], path: str = "") -> WatchState:
+    """Fold store rows into a :class:`WatchState` (dedup by trial hash —
+    a re-run trial counts once, with its latest status)."""
+    state = WatchState(path=path)
+    trial_rows: Dict[str, Dict] = {}
+    for row in rows:
+        if row.get("kind") == "campaign":
+            spec = row.get("spec") or {}
+            state.campaign = spec.get("name", state.campaign)
+            state.expected = _spec_size(spec) or state.expected
+        elif "trial" in row and "hash" in row:
+            trial_rows[row["hash"]] = row
+            state.last_row = row
+    state.done = len(trial_rows)
+    stamps = []
+    for row in trial_rows.values():
+        status = row.get("status")
+        if status == "ok":
+            state.ok += 1
+        elif status == "error":
+            state.errors += 1
+        elif status == "unsupported":
+            state.unsupported += 1
+        stamp = row.get("recorded_unix")
+        if isinstance(stamp, (int, float)):
+            stamps.append(float(stamp))
+    if len(stamps) >= 2:
+        span = max(stamps) - min(stamps)
+        if span > 0:
+            state.rate = (len(stamps) - 1) / span
+    if state.rate and state.pending is not None:
+        state.eta_seconds = state.pending / state.rate
+    return state
+
+
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--:--"
+    seconds = int(round(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}:{seconds % 3600 // 60:02d}:{seconds % 60:02d}"
+    return f"{seconds // 60}:{seconds % 60:02d}"
+
+
+def render(state: WatchState) -> str:
+    """One progress block (two lines) for a snapshot."""
+    total = "?" if state.expected is None else str(state.expected)
+    name = state.campaign or "(unknown campaign)"
+    head = (f"campaign {name!r}: {state.done}/{total} trials")
+    if state.expected:
+        head += f" ({state.done / state.expected:.1%})"
+    head += (f" | ok {state.ok}, unsupported {state.unsupported}, "
+             f"errors {state.errors}")
+    rate = f"{state.rate:.2f} trials/s" if state.rate else "rate --"
+    eta = ("done" if state.finished
+           else f"eta {_fmt_duration(state.eta_seconds)}")
+    tail = f"{rate} | {eta}"
+    if state.last_row is not None:
+        trial = state.last_row.get("trial", {})
+        wall = state.last_row.get("wall_seconds")
+        wall_txt = f" [{wall:.2f}s]" if isinstance(wall, (int, float)) else ""
+        tail += (f" | last: {trial.get('protocol', '?')} "
+                 f"{trial.get('adversary', '?')} n={trial.get('n', '?')} "
+                 f"alpha={trial.get('alpha', 0):.5f} "
+                 f"r{trial.get('replicate', '?')} "
+                 f"-> {state.last_row.get('status', '?')}{wall_txt}")
+    return head + "\n" + tail
+
+
+def watch(path: str, interval: float = 2.0, once: bool = False,
+          stream=None, max_ticks: Optional[int] = None) -> int:
+    """Render progress until the campaign completes (or forever for an
+    open-ended store).  ``once`` renders a single snapshot and returns —
+    the scripting/CI form.  Returns 0; 1 if ``once`` finds no store."""
+    stream = sys.stdout if stream is None else stream
+    if once and not os.path.exists(path):
+        print(f"no store at {path}", file=stream, flush=True)
+        return 1
+    ticks = 0
+    try:
+        while True:
+            state = snapshot(read_rows(path), path)
+            print(render(state), file=stream, flush=True)
+            if once or state.finished:
+                return 0
+            ticks += 1
+            if max_ticks is not None and ticks >= max_ticks:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

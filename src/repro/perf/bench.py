@@ -357,12 +357,17 @@ def run_suite(suite: str, smoke: bool = False,
         record("exchange-bits-n256", entry)
         record("nonadaptive-end-to-end",
                bench_protocol_end_to_end("nonadaptive", 64, 32))
+    from repro.obs import metrics
     return {
         "schema": SCHEMA_VERSION,
         "suite": suite,
         "mode": "smoke" if smoke else "full",
         "python": platform.python_version(),
         "numpy": np.__version__,
+        # timings taken with instrumentation recording are not comparable
+        # to the committed (metrics-off) baselines, so the flag is part of
+        # the result provenance
+        "metrics_enabled": metrics.enabled(),
         "benchmarks": benchmarks,
     }
 

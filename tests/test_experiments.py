@@ -122,6 +122,29 @@ class TestRunner:
         assert error["status"] == STATUS_ERROR
         assert "no-such-protocol" in error["reason"]
 
+    def test_rows_carry_observability_stamps(self):
+        for row in (
+            run_single(TrialSpec("det-sqrt", "adaptive", 16, 1 / 16,
+                                 bandwidth=16))[0],
+            run_single(TrialSpec("det-sqrt", "adaptive", 16, 0.4,
+                                 bandwidth=16))[0],  # unsupported
+        ):
+            assert row["wall_seconds"] >= 0
+            assert row["recorded_unix"] > 0
+
+    def test_rows_embed_metrics_when_enabled(self):
+        from repro.obs import metrics
+        with metrics.use():
+            row, _ = run_single(TrialSpec("det-sqrt", "adaptive", 16,
+                                          1 / 16, bandwidth=16))
+        assert row["metrics"]["counters"]["net.rounds"] == row["rounds"]
+        assert row["metrics"]["counters"]["net.bits"] == row["bits_sent"]
+        # and without the flag, no snapshot is embedded
+        with metrics.use(on=False):
+            row, _ = run_single(TrialSpec("det-sqrt", "adaptive", 16,
+                                          1 / 16, bandwidth=16))
+        assert "metrics" not in row
+
     def test_inline_campaign_and_resume(self, tmp_path):
         path = str(tmp_path / "campaign.jsonl")
         spec = tiny_spec()

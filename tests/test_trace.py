@@ -44,6 +44,14 @@ class TestBreakdown:
         assert sum(p.corrupted_entries for p in phases.values()) == \
             net.entries_corrupted
 
+    def test_bit_totals_match(self):
+        net = self._run()
+        phases = phase_breakdown(net.history)
+        assert sum(p.total_bits for p in phases.values()) == net.bits_sent
+        n = net.n
+        assert all(0 <= outcome.bits <= outcome.width * n * (n - 1)
+                   for outcome in net.history)
+
     def test_format_contains_total(self):
         net = self._run()
         text = format_breakdown(net)
