@@ -1,12 +1,20 @@
 """Mobile bounded-faulty-degree Byzantine adversaries (Section 2)."""
 
 from repro.adversary.base import Adversary, NullAdversary, RoundOutcome, RoundView
+from repro.adversary.batched import (
+    BatchRoundView,
+    BatchedAdversary,
+    BatchedNonAdaptiveAdversary,
+    BatchedNullAdversary,
+    PerTrialAdversaryBatch,
+)
 from repro.adversary.budget import (
     FaultBudgetViolation,
     fault_degrees,
     greedy_symmetric_selection,
     max_faulty_degree,
     validate_fault_set,
+    validate_fault_sets,
 )
 from repro.adversary.nonadaptive import NonAdaptiveAdversary
 from repro.adversary.adaptive import (
@@ -28,11 +36,17 @@ __all__ = [
     "NullAdversary",
     "RoundOutcome",
     "RoundView",
+    "BatchRoundView",
+    "BatchedAdversary",
+    "BatchedNonAdaptiveAdversary",
+    "BatchedNullAdversary",
+    "PerTrialAdversaryBatch",
     "FaultBudgetViolation",
     "fault_degrees",
     "greedy_symmetric_selection",
     "max_faulty_degree",
     "validate_fault_set",
+    "validate_fault_sets",
     "NonAdaptiveAdversary",
     "AdaptiveAdversary",
     "SlidingWindowAdversary",

@@ -66,6 +66,15 @@ class RoundOutcome:
 class Adversary(abc.ABC):
     """A mobile Byzantine edge adversary with faulty-degree budget alpha*n."""
 
+    #: set True by subclasses whose ``select_edges``/``corrupt`` read
+    #: ``view.history``.  Engines running with ``keep_history=False`` (the
+    #: memory-lean mode used by long batched campaigns) force history
+    #: recording back on when this flag is set, so a history-reading
+    #: adversary always sees the full round record.  None of the shipped
+    #: adversaries read history (footnote 3's content adaptivity is served
+    #: through ``view.intended``), so the default is False.
+    reads_history: bool = False
+
     def __init__(self, alpha: float, seed: int = 0):
         if not 0 <= alpha <= 1:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")

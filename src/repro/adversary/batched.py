@@ -1,0 +1,224 @@
+"""Trial-batched adversary interfaces for the vmap execution engine.
+
+A :class:`~repro.cliquesim.batched.BatchedClique` runs ``trials``
+independent protocol instances in lockstep, so its adversary must commit a
+fault set and replacement payloads for *every* trial each round.  The
+contract mirrors the serial :class:`~repro.adversary.base.Adversary` with a
+leading batch axis:
+
+1. :meth:`BatchedAdversary.select_edges_many` returns a ``(trials, n, n)``
+   boolean stack of symmetric fault sets — validated against the
+   faulty-degree budget in one vectorized pass
+   (:func:`~repro.adversary.budget.validate_fault_sets`);
+2. :meth:`BatchedAdversary.corrupt_many` returns the ``(trials, n, n)``
+   delivered payload stack; the engine clamps it so only entries across a
+   trial's own faulty edges may differ from that trial's intended payloads.
+
+Per-trial randomness stays independent inside the batch: every trial's
+streams are derived from its own seed exactly as the serial engine derives
+them, which is what makes a batched cell bit-identical to running its
+trials one at a time.  :class:`PerTrialAdversaryBatch` is the generic
+fallback — it wraps one serial adversary instance per trial, so every
+existing adversary works unbatched under the batched engine;
+:class:`BatchedNonAdaptiveAdversary` is the natively batched α-NBD
+adversary whose masks are assembled with tensor ops.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.adversary.base import Adversary, RoundOutcome, RoundView
+from repro.adversary.budget import max_faulty_degree
+from repro.adversary.strategies import _tournament_matching
+from repro.utils.rng import derive
+
+
+@dataclass
+class BatchRoundView:
+    """What a batched adversary may look at in round ``index`` — the
+    batched analogue of :class:`~repro.adversary.base.RoundView`."""
+
+    index: int
+    width: int
+    intended: np.ndarray                   # (trials, n, n) payload stack
+    #: per-trial histories; empty lists when the engine runs with
+    #: ``keep_history=False`` (only possible when no adversary reads them)
+    histories: Sequence[List[RoundOutcome]] = field(default_factory=list)
+    label: str = ""
+
+    @property
+    def trials(self) -> int:
+        return self.intended.shape[0]
+
+    def trial_view(self, t: int) -> RoundView:
+        """Serial view of trial ``t`` — what a wrapped per-trial adversary
+        would have seen from a serial engine."""
+        history = self.histories[t] if len(self.histories) else []
+        return RoundView(index=self.index, width=self.width,
+                         intended=self.intended[t], history=history,
+                         label=self.label)
+
+
+class BatchedAdversary(abc.ABC):
+    """A mobile α-BD adversary acting on a stack of clique instances."""
+
+    #: see :attr:`repro.adversary.base.Adversary.reads_history`
+    reads_history: bool = False
+
+    def __init__(self, alpha: float):
+        if not 0 <= alpha <= 1:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.alpha = alpha
+        self.n: Optional[int] = None
+        self.trials: Optional[int] = None
+
+    def begin_protocol(self, n: int, trials: int) -> None:
+        """Called by the batched engine before round 0."""
+        self.n = n
+        self.trials = trials
+
+    @property
+    def budget(self) -> int:
+        if self.n is None:
+            raise RuntimeError("begin_protocol was never called")
+        return max_faulty_degree(self.n, self.alpha)
+
+    @abc.abstractmethod
+    def select_edges_many(self, view: BatchRoundView) -> np.ndarray:
+        """Return the ``(trials, n, n)`` stack of symmetric fault sets."""
+
+    @abc.abstractmethod
+    def corrupt_many(self, view: BatchRoundView,
+                     edges: np.ndarray) -> np.ndarray:
+        """Return the ``(trials, n, n)`` delivered payload stack."""
+
+
+class BatchedNullAdversary(BatchedAdversary):
+    """No corruption in any trial — the fault-free batched clique."""
+
+    def __init__(self):
+        super().__init__(alpha=0.0)
+
+    def select_edges_many(self, view: BatchRoundView) -> np.ndarray:
+        return np.zeros((view.trials, self.n, self.n), dtype=bool)
+
+    def corrupt_many(self, view: BatchRoundView,
+                     edges: np.ndarray) -> np.ndarray:
+        return view.intended.copy()
+
+
+class PerTrialAdversaryBatch(BatchedAdversary):
+    """Generic fallback: drive one serial adversary instance per trial.
+
+    Every existing :class:`~repro.adversary.base.Adversary` subclass works
+    under the batched engine through this wrapper, unbatched: each round,
+    each trial's instance is consulted with that trial's serial
+    :class:`RoundView` in trial order, so its private RNG advances exactly
+    as it would have in a serial run of that trial alone.
+    """
+
+    def __init__(self, adversaries: Sequence[Adversary]):
+        if not adversaries:
+            raise ValueError("need at least one per-trial adversary")
+        alphas = {a.alpha for a in adversaries}
+        if len(alphas) != 1:
+            raise ValueError(
+                f"per-trial adversaries must share one alpha, got {alphas}")
+        super().__init__(alpha=alphas.pop())
+        self.adversaries = list(adversaries)
+        self.reads_history = any(a.reads_history for a in self.adversaries)
+
+    def begin_protocol(self, n: int, trials: int) -> None:
+        if trials != len(self.adversaries):
+            raise ValueError(
+                f"{len(self.adversaries)} adversaries cannot cover "
+                f"{trials} trials")
+        super().begin_protocol(n, trials)
+        for adversary in self.adversaries:
+            adversary.begin_protocol(n)
+
+    def select_edges_many(self, view: BatchRoundView) -> np.ndarray:
+        return np.stack([
+            np.asarray(adv.select_edges(view.trial_view(t)), dtype=bool)
+            for t, adv in enumerate(self.adversaries)])
+
+    def corrupt_many(self, view: BatchRoundView,
+                     edges: np.ndarray) -> np.ndarray:
+        return np.stack([
+            np.asarray(adv.corrupt(view.trial_view(t), edges[t]),
+                       dtype=np.int64)
+            for t, adv in enumerate(self.adversaries)])
+
+
+class BatchedNonAdaptiveAdversary(BatchedAdversary):
+    """Natively batched α-NBD adversary (the batched-mask fast path).
+
+    Bit-identical to ``trials`` independent
+    :class:`~repro.adversary.nonadaptive.NonAdaptiveAdversary` instances
+    with the default :class:`RandomRegularStrategy` edge schedule: each
+    trial's schedule/content streams are derived from its own seed exactly
+    as the serial constructor derives them, and only the per-trial
+    *permutation draws* (inherently independent streams) run in a Python
+    loop — mask assembly gathers the precomputed tournament matchings for
+    all trials at once, and the flip/drop content attacks are single
+    ``np.where`` passes over the ``(trials, n, n)`` stack.
+    """
+
+    def __init__(self, alpha: float, seeds: Sequence[int],
+                 content_attack: str = "flip"):
+        super().__init__(alpha)
+        if content_attack not in ("flip", "drop", "random"):
+            raise ValueError(f"unknown content attack {content_attack!r}")
+        self.seeds = [int(s) for s in seeds]
+        self.content_attack = content_attack
+        self._schedule_rngs: List[np.random.Generator] = []
+        self._rngs: List[np.random.Generator] = []
+        self._matchings: Optional[np.ndarray] = None
+
+    def begin_protocol(self, n: int, trials: int) -> None:
+        if trials != len(self.seeds):
+            raise ValueError(
+                f"{len(self.seeds)} seeds cannot cover {trials} trials")
+        super().begin_protocol(n, trials)
+        # the exact per-trial derivations of the serial adversary
+        self._rngs = [derive(s, f"adversary:{n}") for s in self.seeds]
+        self._schedule_rngs = [derive(s, f"nbd-schedule:{n}")
+                               for s in self.seeds]
+        m = n if n % 2 == 0 else n + 1
+        self._matchings = np.stack([_tournament_matching(n, r)
+                                    for r in range(m - 1)])
+
+    def select_edges_many(self, view: BatchRoundView) -> np.ndarray:
+        budget = self.budget
+        if budget < 1:
+            return np.zeros((self.trials, self.n, self.n), dtype=bool)
+        # independent per-trial permutation draws, one gather for the masks
+        choices = np.stack([
+            rng.permutation(self._matchings.shape[0])[:budget]
+            for rng in self._schedule_rngs])
+        return self._matchings[choices].any(axis=1)
+
+    def corrupt_many(self, view: BatchRoundView,
+                     edges: np.ndarray) -> np.ndarray:
+        intended = view.intended
+        mask = np.asarray(edges, dtype=bool)
+        if self.content_attack == "drop":
+            return np.where(mask, np.int64(-1), intended)
+        if self.content_attack == "flip":
+            all_ones = np.int64((1 << view.width) - 1)
+            flipped = np.where(intended >= 0, intended ^ all_ones, all_ones)
+            return np.where(mask, flipped, intended)
+        # "random" draws from each trial's private stream in serial order
+        delivered = intended.copy()
+        high = 1 << view.width
+        for t, rng in enumerate(self._rngs):
+            count = int(mask[t].sum())
+            if count:
+                delivered[t][mask[t]] = rng.integers(0, high, size=count,
+                                                     dtype=np.int64)
+        return delivered

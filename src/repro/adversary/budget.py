@@ -49,6 +49,35 @@ def validate_fault_set(edges: np.ndarray, n: int, alpha: float) -> None:
             f"deg(F) = {worst} exceeds budget floor(alpha*n) = {budget}")
 
 
+def validate_fault_sets(edges: np.ndarray, n: int, alpha: float) -> None:
+    """Batched :func:`validate_fault_set`: check a ``(trials, n, n)`` stack
+    of fault sets with one vectorized pass over the batch axis instead of a
+    per-trial Python loop.  Raises :class:`FaultBudgetViolation` naming the
+    first offending trial."""
+    edges = np.asarray(edges, dtype=bool)
+    if edges.ndim != 3 or edges.shape[1:] != (n, n):
+        raise FaultBudgetViolation(
+            f"fault-set stack has shape {edges.shape}, "
+            f"expected (trials, {n}, {n})")
+    diag = edges[:, np.arange(n), np.arange(n)]
+    if diag.any():
+        trial = int(np.flatnonzero(diag.any(axis=1))[0])
+        raise FaultBudgetViolation(
+            f"trial {trial}: self-loops cannot be faulty edges")
+    asym = (edges != edges.transpose(0, 2, 1)).any(axis=(1, 2))
+    if asym.any():
+        raise FaultBudgetViolation(
+            f"trial {int(np.flatnonzero(asym)[0])}: fault set must be "
+            f"symmetric (undirected)")
+    budget = max_faulty_degree(n, alpha)
+    worst = edges.sum(axis=2).max(axis=1)
+    if (worst > budget).any():
+        trial = int(np.flatnonzero(worst > budget)[0])
+        raise FaultBudgetViolation(
+            f"trial {trial}: deg(F) = {int(worst[trial])} exceeds budget "
+            f"floor(alpha*n) = {budget}")
+
+
 def greedy_symmetric_selection(priorities: np.ndarray, budget: int,
                                rng: np.random.Generator) -> np.ndarray:
     """Build a maximal fault set under the degree budget, preferring

@@ -175,8 +175,9 @@ def _run_experiment(args, resume: bool) -> int:
         return 0
     store_path = args.store or _default_store(spec)
     total = spec.size()
+    backend = args.backend or ("process" if args.jobs > 1 else "serial")
     print(f"campaign {spec.name!r}: {total} trials -> {store_path} "
-          f"(jobs={args.jobs}, resume={resume})")
+          f"(backend={backend}, jobs={args.jobs}, resume={resume})")
 
     start = time.perf_counter()
 
@@ -194,7 +195,7 @@ def _run_experiment(args, resume: bool) -> int:
               flush=True)
 
     result = run_campaign(spec, store=store_path, jobs=args.jobs,
-                          resume=resume,
+                          resume=resume, backend=args.backend,
                           progress=progress if not args.quiet else None)
     print(result)
     print()
@@ -404,6 +405,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL artifact store (default runs/<name>.jsonl)")
         p.add_argument("--jobs", type=int, default=1,
                        help="worker processes (1 = inline)")
+        p.add_argument("--backend", choices=("serial", "process", "vmap"),
+                       default=None,
+                       help="execution backend (default: process when "
+                            "--jobs > 1, else serial; vmap batches each "
+                            "campaign cell into one tensor program)")
         p.add_argument("--replicates", type=int, default=None)
         p.add_argument("--seed", dest="seed_override", type=int, default=None)
         p.add_argument("--accuracy-bar", type=float, default=None)

@@ -1,5 +1,6 @@
 """Congested Clique simulator (Section 2's communication model)."""
 
+from repro.cliquesim.batched import BatchedClique
 from repro.cliquesim.network import BandwidthViolation, CongestedClique
 from repro.cliquesim.topology import (
     balanced_random_partition,
@@ -13,6 +14,7 @@ from repro.cliquesim.topology import (
 
 __all__ = [
     "BandwidthViolation",
+    "BatchedClique",
     "CongestedClique",
     "balanced_random_partition",
     "consecutive_segments",

@@ -43,7 +43,8 @@ class CongestedClique:
 
     def __init__(self, n: int, bandwidth: int = 1,
                  adversary: Optional[Adversary] = None,
-                 record_full_history: bool = False):
+                 record_full_history: bool = False,
+                 keep_history: bool = True):
         if n < 2:
             raise ValueError("need at least two nodes")
         if not 1 <= bandwidth <= MAX_ROUND_WIDTH:
@@ -54,6 +55,13 @@ class CongestedClique:
         self.adversary = adversary if adversary is not None else NullAdversary()
         self.adversary.begin_protocol(n)
         self.record_full_history = record_full_history
+        # keep_history=False keeps only the scalar counters — one
+        # RoundOutcome per round is real memory over a long batched
+        # campaign.  An adversary that reads view.history forces it back
+        # on (it would otherwise see an empty record), as does
+        # record_full_history.
+        self.keep_history = (keep_history or record_full_history
+                             or self.adversary.reads_history)
         self.history: List[RoundOutcome] = []
         self.rounds_used = 0
         self.bits_sent = 0
@@ -87,16 +95,17 @@ class CongestedClique:
         sent_entries = (int(np.count_nonzero(intended >= 0))
                         - int(np.count_nonzero(np.diag(intended) >= 0)))
         bits = width * sent_entries
-        self.history.append(RoundOutcome(
-            index=self.rounds_used,
-            width=width,
-            intended=intended if self.record_full_history else None,
-            delivered=delivered if self.record_full_history else None,
-            fault_edges=edges if self.record_full_history else None,
-            corrupted_entries=corrupted,
-            bits=bits,
-            label=label,
-        ))
+        if self.keep_history:
+            self.history.append(RoundOutcome(
+                index=self.rounds_used,
+                width=width,
+                intended=intended if self.record_full_history else None,
+                delivered=delivered if self.record_full_history else None,
+                fault_edges=edges if self.record_full_history else None,
+                corrupted_entries=corrupted,
+                bits=bits,
+                label=label,
+            ))
         self.rounds_used += 1
         self.bits_sent += bits
         self.entries_corrupted += corrupted

@@ -1,0 +1,349 @@
+"""Trial-batched (vmap) ports of the AllToAllComm protocols.
+
+Each port runs ``trials`` instances of one protocol over a
+:class:`~repro.cliquesim.batched.BatchedClique`, producing the exact belief
+matrices the serial protocol produces trial by trial.  The ports mirror the
+serial control flow with a leading batch axis:
+
+* message *structure* (sources, slots, targets, round sequence) is shared
+  across the batch whenever the protocol's structure is data-independent —
+  det-sqrt's segment grid and det-logn's butterfly are fixed by ``n``
+  alone, so their packing/unpacking and routing batch perfectly;
+* per-trial *randomness* is derived from each trial's own seed exactly as
+  the serial protocol derives it (nonadaptive's shift vectors), so batched
+  outputs are bit-identical to serial ones;
+* when per-trial randomness changes the routing *structure* itself
+  (nonadaptive's return step targets depend on the shifts), schedules are
+  still computed per trial with the serial scheduler; if their batch
+  counts diverge the router raises
+  :class:`~repro.core.batched_routing.CellUnbatchable` and the caller
+  falls back to per-trial serial execution.
+
+The adaptive compiler is deliberately absent: its interactive
+compile/execute loop branches on per-trial network feedback, so it runs
+through the per-trial fallback of the vmap backend instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.adversary.batched import BatchedAdversary
+from repro.cliquesim.batched import BatchedClique
+from repro.cliquesim.topology import flip, sqrt_segments
+from repro.coding.linear import best_effort_linear_code
+from repro.core.batched_routing import BatchedRouter, broadcast_many
+from repro.core.messages import AllToAllInstance, ProtocolReport, verify_beliefs
+from repro.core.profiles import ProtocolProfile, SIMULATION
+from repro.core.protocol import pack_block, pack_rows, unpack_block, unpack_rows
+from repro.core.routing import SuperMessage
+from repro.utils.bits import pack_bits, unpack_bits
+from repro.utils.rng import derive
+
+
+def _common_shape(instances: Sequence[AllToAllInstance], net: BatchedClique,
+                  seeds: Sequence[int]):
+    if not instances:
+        raise ValueError("need at least one instance")
+    n = instances[0].n
+    width = instances[0].width
+    if any(inst.n != n or inst.width != width for inst in instances):
+        raise ValueError("batched trials must share n and width")
+    if len(instances) != net.trials or len(seeds) != net.trials:
+        raise ValueError(
+            f"expected {net.trials} instances and seeds, got "
+            f"{len(instances)} and {len(seeds)}")
+    return n, width
+
+
+class BatchedDetSqrtAllToAll:
+    """Batched :class:`~repro.core.det_sqrt.DetSqrtAllToAll`: the segment
+    grid is fixed by ``n``, so both routing steps share one structure and
+    all packing/unpacking collapses to whole-batch calls."""
+
+    name = "det-sqrt"
+
+    def __init__(self, profile: ProtocolProfile = SIMULATION):
+        self.profile = profile
+
+    def run_many(self, instances: Sequence[AllToAllInstance],
+                 net: BatchedClique, seeds: Sequence[int]) -> np.ndarray:
+        n, width = _common_shape(instances, net, seeds)
+        trials = net.trials
+        root = math.isqrt(n)
+        if root * root != n:
+            raise ValueError(f"n={n} must be a perfect square "
+                             f"(Lemma 2.8 reduces the general case)")
+        segments = sqrt_segments(n)
+        router = BatchedRouter(net, self.profile)
+        stacked = np.stack([inst.messages for inst in instances])
+
+        # -- Step 1: v in S_i sends M°({v}, S_j) to S_i[j] --------------------
+        # segments are consecutive blocks, so M°({v}, S_j) is one reshape
+        # away; every (trial, v, j) block packs in a single pack_rows call.
+        # The message structure is fixed by n alone, so one prototype list
+        # drives the router's shared fast path for the whole batch.
+        vals1 = stacked.reshape(trials, n, root, root)
+        packed1 = pack_rows(vals1.reshape(trials * n * root, root), width)
+        bit_len = packed1.shape[1]
+        proto1 = [SuperMessage.make(v, j, packed1[v * root + j],
+                                    [int(segments[v // root][j])])
+                  for v in range(n) for j in range(root)]
+        res1 = router.route_shared(
+            proto1, packed1.reshape(trials, n * root, bit_len),
+            label="det-sqrt/step1")
+
+        # S_i[j] reassembles its belief of M(S_i, S_j): message (v, j) is
+        # row v*root+j of the stack, so the (t, i, j, source) gather is a
+        # reshape + transpose, then one batched unpack
+        out1 = res1.single_target_stack(n * root)
+        rows1 = out1.reshape(trials, root, root, root, bit_len)\
+            .transpose(0, 1, 3, 2, 4)
+        held = unpack_rows(
+            rows1.reshape(trials * root * root * root, bit_len),
+            root, width).reshape(trials, root, root, root, root)
+
+        # -- Step 2: S_i[j] sends M°(S_i, {S_j[l]}) to S_j[l] ------------------
+        vals2 = held.transpose(0, 1, 2, 4, 3).reshape(
+            trials * root * root * root, root)
+        packed2 = pack_rows(vals2, width)
+        proto2 = [SuperMessage.make(int(segments[i][j]), col,
+                                    packed2[(i * root + j) * root + col],
+                                    [int(segments[j][col])])
+                  for i in range(root) for j in range(root)
+                  for col in range(root)]
+        res2 = router.route_shared(
+            proto2, packed2.reshape(trials, n * root, bit_len),
+            label="det-sqrt/step2")
+
+        # -- Output: v = S_j[l] holds M(S_i, {v}) for every i ------------------
+        # message (i, j, col) is row i*root²+j*root+col; gather to the
+        # serial (t, j, col, i) row order with one transpose
+        out2 = res2.single_target_stack(n * root)
+        rows3 = out2.reshape(trials, root, root, root, bit_len)\
+            .transpose(0, 2, 3, 1, 4)
+        values = unpack_rows(
+            rows3.reshape(trials * root * root * root, bit_len),
+            root, width).reshape(trials, root, root, root, root)
+        # values[t, j, col, i, l] is the belief about m[S_i[l], S_j[col]];
+        # contiguous segments make the gather a transpose + reshape
+        return np.ascontiguousarray(
+            values.transpose(0, 3, 4, 1, 2).reshape(trials, n, n))
+
+
+class BatchedDetLogAllToAll:
+    """Batched :class:`~repro.core.det_logn.DetLogAllToAll`: the butterfly
+    pairing is fixed by ``n``, so each iteration's split/pack/route/merge
+    carries a ``(trials, |S|, |T|)`` value stack per node."""
+
+    name = "det-logn"
+
+    def __init__(self, profile: ProtocolProfile = SIMULATION):
+        self.profile = profile
+
+    def run_many(self, instances: Sequence[AllToAllInstance],
+                 net: BatchedClique, seeds: Sequence[int]) -> np.ndarray:
+        n, width = _common_shape(instances, net, seeds)
+        trials = net.trials
+        log_n = n.bit_length() - 1
+        if 1 << log_n != n:
+            raise ValueError(f"n={n} must be a power of two "
+                             f"(Lemma 2.8 reduces the general case)")
+        router = BatchedRouter(net, self.profile)
+        stacked = np.stack([inst.messages for inst in instances])
+
+        # state[u] = (sources asc, targets asc, (trials, |S|, |T|) beliefs)
+        state = {
+            u: (np.array([u]), np.arange(n),
+                stacked[:, u, :].reshape(trials, 1, n).copy())
+            for u in range(n)
+        }
+
+        for i in range(1, log_n + 1):
+            bit = i - 1  # most significant first
+            meta = {}
+            sends = []
+            for u in range(n):
+                sources, targets, values = state[u]
+                half = targets.size // 2
+                own_bit = (u >> (log_n - 1 - bit)) & 1
+                partner = flip(u, bit, 1 - own_bit, n)
+                if own_bit == 0:
+                    keep_t, keep_vals = targets[:half], values[:, :, :half]
+                    send_vals = values[:, :, half:]
+                else:
+                    keep_t, keep_vals = targets[half:], values[:, :, half:]
+                    send_vals = values[:, :, :half]
+                sends.append(send_vals.reshape(trials, -1))
+                meta[u] = (sources, keep_t, keep_vals, partner)
+            # pack every trial's n send-rows at once, row order (t, u);
+            # the butterfly pairing is fixed by n, so one prototype list
+            # drives the router's shared fast path
+            packed = pack_rows(
+                np.stack(sends).transpose(1, 0, 2).reshape(trials * n, -1),
+                width)
+            bit_len = packed.shape[1]
+            proto = [SuperMessage.make(u, 0, packed[u], [meta[u][3]])
+                     for u in range(n)]
+            res = router.route_shared(
+                proto, packed.reshape(trials, n, bit_len),
+                label=f"det-logn/iter{i}")
+
+            # row u of the stack is what u's partner received FROM u, so
+            # node u's inbox is row partner(u)
+            partner_of = np.array([meta[u][3] for u in range(n)])
+            received_rows = res.single_target_stack(n)[:, partner_of]
+            num_sources = state[0][0].size
+            num_keep = state[0][1].size // 2
+            received_all = unpack_rows(
+                received_rows.reshape(trials * n, bit_len),
+                num_sources * num_keep, width
+            ).reshape(trials, n, num_sources, num_keep)
+            new_state = {}
+            for u in range(n):
+                sources, keep_t, keep_vals, partner = meta[u]
+                merged_sources = np.concatenate([sources, meta[partner][0]])
+                order = np.argsort(merged_sources)
+                merged_values = np.concatenate(
+                    [keep_vals, received_all[:, u]], axis=1)
+                new_state[u] = (merged_sources[order], keep_t,
+                                merged_values[:, order])
+            state = new_state
+
+        beliefs = np.full((trials, n, n), -1, dtype=np.int64)
+        for u in range(n):
+            sources, targets, values = state[u]
+            assert targets.size == 1 and int(targets[0]) == u
+            beliefs[:, sources, u] = values[:, :, 0]
+        return beliefs
+
+
+class BatchedNonAdaptiveAllToAll:
+    """Batched :class:`~repro.core.nonadaptive.NonAdaptiveAllToAll`.
+
+    Steps 0/1 batch cleanly (per-trial shift vectors are data, not
+    structure).  The step-2 return routing targets *depend* on each trial's
+    shifts, so its schedules are computed per trial; when their batch
+    counts diverge the route raises ``CellUnbatchable`` and the caller
+    falls back to serial per-trial execution.
+    """
+
+    name = "nonadaptive"
+
+    def __init__(self, profile: ProtocolProfile = SIMULATION,
+                 codeword_bits: int = 32):
+        self.profile = profile
+        self.codeword_bits = codeword_bits
+
+    def run_many(self, instances: Sequence[AllToAllInstance],
+                 net: BatchedClique, seeds: Sequence[int]) -> np.ndarray:
+        n, width = _common_shape(instances, net, seeds)
+        trials = net.trials
+        code = best_effort_linear_code(width, self.codeword_bits,
+                                       seed=self.profile.construction_seed)
+        B = code.n
+        router = BatchedRouter(net, self.profile)
+        id_bits = max(1, (n - 1).bit_length())
+
+        # -- Step 0: v_1 broadcasts trial t's B random shifts in trial t ------
+        # each trial's stream is the exact serial derivation from its seed
+        shift_rows = [derive(s, "nonadaptive-shifts").integers(
+            0, n, size=B, dtype=np.int64) for s in seeds]
+        payload0 = np.stack([pack_block(row, id_bits) for row in shift_rows])
+        received = broadcast_many(router, 0, payload0,
+                                  label="nonadaptive/shifts")
+        shifts = np.stack([unpack_block(received[t, 0], B, id_bits) % n
+                           for t in range(trials)])
+
+        # -- Step 1: spread codeword bits through the random shifts ----------
+        stacked = np.stack([inst.messages for inst in instances])
+        msg_bits = unpack_bits(
+            stacked.reshape(-1).astype(np.uint64)[:, None], width)
+        codewords = code.encode_many(msg_bits).reshape(trials, n, n, B)
+        cols = (np.arange(n)[None, :, None] - shifts[:, None, :]) % n
+        spread = codewords[
+            np.arange(trials)[:, None, None, None],
+            np.arange(n)[None, :, None, None],
+            cols[:, None, :, :],
+            np.arange(B)[None, None, None, :]]
+        payload = pack_bits(spread)[..., 0].astype(np.int64)
+        delivered = net.exchange(payload, width=B, label="nonadaptive/spread")
+
+        # -- Step 2: B routing instances bring the bit-columns home -----------
+        clean = np.where(delivered < 0, 0, delivered)
+        bit_planes = unpack_bits(clean.astype(np.uint64)[..., None], B)
+        trials_messages = []
+        for t in range(trials):
+            msgs = []
+            for i in range(B):
+                r = int(shifts[t, i])
+                for w in range(n):
+                    owner = (w - r) % n
+                    msgs.append(SuperMessage.make(w, i,
+                                                  bit_planes[t, :, w, i],
+                                                  [owner]))
+            trials_messages.append(msgs)
+        results = router.route(trials_messages, label="nonadaptive/return")
+
+        # -- Step 3: reassemble and decode ------------------------------------
+        words = np.empty((trials, n, n, B), dtype=np.uint8)
+        owners = np.arange(n)
+        for t in range(trials):
+            out = results[t].outputs
+            for i in range(B):
+                relay_of = (owners + int(shifts[t, i])) % n
+                gathered = np.stack([out[v][(int(relay_of[v]), i)]
+                                     for v in range(n)])
+                words[t, :, :, i] = gathered.T
+        decoded, _ = code.decode_many_flagged(words.reshape(trials * n * n, B))
+        weights = (np.int64(1) << np.arange(width, dtype=np.int64))
+        beliefs = (decoded.astype(np.int64) * weights[None, :]).sum(axis=1)
+        return beliefs.reshape(trials, n, n)
+
+
+#: protocols with a native batched port; anything else (notably the
+#: adaptive compiler, whose control flow branches on per-trial feedback)
+#: runs through the vmap backend's per-trial fallback
+BATCHED_PROTOCOLS: Dict[str, Callable[[], object]] = {
+    "nonadaptive": BatchedNonAdaptiveAllToAll,
+    "det-logn": BatchedDetLogAllToAll,
+    "det-sqrt": BatchedDetSqrtAllToAll,
+}
+
+
+def make_batched_protocol(name: str):
+    try:
+        return BATCHED_PROTOCOLS[name]()
+    except KeyError:
+        raise ValueError(
+            f"no batched port for protocol {name!r}; "
+            f"known: {sorted(BATCHED_PROTOCOLS)}") from None
+
+
+def run_protocol_many(protocol, instances: Sequence[AllToAllInstance],
+                      adversary: Optional[BatchedAdversary] = None,
+                      bandwidth: int = 32,
+                      seeds: Optional[Sequence[int]] = None,
+                      ) -> List[ProtocolReport]:
+    """Batched :func:`~repro.core.alltoall.run_protocol`: one
+    :class:`BatchedClique` run, one serial-identical report per trial."""
+    trials = len(instances)
+    seeds = list(seeds) if seeds is not None else [0] * trials
+    n = instances[0].n
+    net = BatchedClique(n, trials, bandwidth=bandwidth, adversary=adversary)
+    beliefs = protocol.run_many(instances, net, seeds)
+    return [
+        ProtocolReport(
+            protocol=protocol.name,
+            n=n,
+            alpha=net.adversary.alpha,
+            rounds=net.rounds_used,
+            bits_sent=int(net.bits_sent[t]),
+            correct_entries=verify_beliefs(instances[t], beliefs[t]),
+            total_entries=n * n,
+            entries_corrupted_in_transit=int(net.entries_corrupted[t]),
+        )
+        for t in range(trials)]

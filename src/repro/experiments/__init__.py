@@ -5,8 +5,12 @@ The engine behind every sweep, benchmark and example:
 * :mod:`~repro.experiments.spec` — JSON-serializable campaign descriptions
   (grids of protocol × adversary × n × alpha × width × bandwidth ×
   replicate, with per-trial derived seeds);
-* :mod:`~repro.experiments.runner` — process-pool execution with chunked
-  dispatch, per-trial failure capture, and order-independent results;
+* :mod:`~repro.experiments.runner` — backend-selectable execution
+  (``serial`` / ``process`` / ``vmap``) with chunked dispatch, per-trial
+  failure capture, and order-independent results;
+* :mod:`~repro.experiments.vmap` — the trial-batched backend: pending
+  trials are grouped into cells and each cell runs as one tensor program
+  over a :class:`~repro.cliquesim.batched.BatchedClique`;
 * :mod:`~repro.experiments.store` — a content-addressed JSONL artifact
   store giving transparent caching and resume;
 * :mod:`~repro.experiments.aggregate` — replicate statistics and
@@ -23,6 +27,20 @@ Quickstart::
                           store="runs/table1.jsonl")
     for cell in aggregate(result.rows()):
         print(cell.protocol, cell.alpha, cell.accuracy.mean)
+
+Cell-grouping rules (the ``vmap`` backend): two pending trials land in the
+same batched cell iff they agree on every :attr:`TrialSpec.cell` field —
+``(protocol, adversary, n, alpha, width, bandwidth)`` — i.e. they differ
+only in ``replicate`` (and hence in derived seeds).  Grouping happens
+*after* resume filtering, so a partially-cached cell batches only its
+missing trials.  Cells bigger than
+:data:`repro.experiments.vmap.MAX_BATCH_TRIALS` are chunked.  A cell runs
+batched only when its protocol has a batched port (``nonadaptive``,
+``det-logn``, ``det-sqrt``), it holds at least two trials, and per-trial
+``metrics`` snapshots are off; otherwise — and whenever per-trial routing
+schedules diverge or the batched run raises — the cell's trials re-execute
+serially, so store rows are bit-identical to the serial backend in every
+case.
 
 Observability row schema: every trial row carries ``wall_seconds``
 (trial execution time) and ``recorded_unix`` (wall-clock completion
@@ -55,6 +73,7 @@ from repro.experiments.report import (
 )
 from repro.experiments.runner import (
     ADVERSARIES,
+    BACKENDS,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_UNSUPPORTED,
@@ -63,6 +82,11 @@ from repro.experiments.runner import (
     make_adversary,
     run_campaign,
     run_single,
+)
+from repro.experiments.vmap import (
+    group_cells,
+    make_batched_adversary,
+    run_cell_batched,
 )
 from repro.experiments.spec import (
     ExperimentSpec,
@@ -74,6 +98,7 @@ from repro.experiments.store import TrialStore
 
 __all__ = [
     "ADVERSARIES",
+    "BACKENDS",
     "CampaignResult",
     "CellStats",
     "ExperimentSpec",
@@ -92,7 +117,10 @@ __all__ = [
     "estimate_thresholds",
     "execute_trial",
     "free_grid",
+    "group_cells",
     "make_adversary",
+    "make_batched_adversary",
+    "run_cell_batched",
     "register",
     "render_cells",
     "render_report",

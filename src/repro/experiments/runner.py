@@ -157,12 +157,18 @@ def _chunked(items: List, size: int) -> List[List]:
     return [items[i:i + size] for i in range(0, len(items), size)]
 
 
+#: campaign execution backends: per-trial inline, per-trial process pool,
+#: or trial-batched tensor programs (see :mod:`repro.experiments.vmap`)
+BACKENDS = ("serial", "process", "vmap")
+
+
 def run_campaign(spec: ExperimentSpec,
                  store: Union[TrialStore, str, None] = None,
                  jobs: int = 1,
                  resume: bool = False,
                  progress: Optional[Callable[[int, int, Dict], None]] = None,
-                 chunks_per_job: int = 4) -> CampaignResult:
+                 chunks_per_job: int = 4,
+                 backend: Optional[str] = None) -> CampaignResult:
     """Execute every trial of ``spec`` not already in ``store``.
 
     ``resume=False`` re-executes all trials (overwriting their store rows);
@@ -172,16 +178,35 @@ def run_campaign(spec: ExperimentSpec,
     (``unsupported`` rows are deterministic verdicts and stay cached).
     ``progress(done, total, row)`` is called after every trial completion;
     cached trials are reported via the returned counters instead.
+
+    ``backend`` selects how pending trials execute: ``"serial"`` (inline,
+    one at a time), ``"process"`` (chunked process-pool dispatch over
+    ``jobs`` workers), or ``"vmap"`` (cells batched into single tensor
+    programs — see :mod:`repro.experiments.vmap`; bit-identical rows,
+    cells that cannot batch fall back to serial per trial).  ``None``
+    keeps the historical behaviour: process when ``jobs > 1``, else
+    serial.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    if backend is None:
+        backend = "process" if jobs > 1 else "serial"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; known: {BACKENDS}")
     if not isinstance(store, TrialStore):
         store = TrialStore(store)
 
     trials = spec.trials()
     result = CampaignResult(spec=spec, store=store, trials=trials)
-    store.append({"hash": f"campaign:{spec.name}", "kind": "campaign",
-                  "spec": spec.to_dict()})
+    # record the campaign header once per distinct spec: a resume (or any
+    # re-invocation with an identical spec) must not grow the store file
+    # with duplicate header lines
+    header_hash = f"campaign:{spec.name}"
+    previous = store.get_by_hash(header_hash)
+    if previous is None or previous.get("spec") != spec.to_dict():
+        store.append({"hash": header_hash, "kind": "campaign",
+                      "spec": spec.to_dict()})
     if resume:
         def needs_run(trial: TrialSpec) -> bool:
             row = store.get(trial)
@@ -206,7 +231,14 @@ def run_campaign(spec: ExperimentSpec,
         if progress is not None:
             progress(done, total, row)
 
-    if jobs == 1 or len(pending) <= 1:
+    if backend == "vmap":
+        from repro.experiments.vmap import group_cells, run_cell_batched
+        for cell_trials in group_cells(pending).values():
+            for row in run_cell_batched(cell_trials):
+                record(row)
+        return result
+
+    if backend == "serial" or jobs == 1 or len(pending) <= 1:
         for trial in pending:
             record(execute_trial(trial.to_dict()))
         return result

@@ -1,0 +1,126 @@
+"""The ``vmap`` campaign backend: run whole cells as one tensor program.
+
+``run_campaign(..., backend="vmap")`` groups a campaign's pending trials
+into *cells* — trials sharing ``(protocol, adversary, n, alpha, width,
+bandwidth)``, i.e. everything except the replicate axis — and executes each
+cell as a single :class:`~repro.cliquesim.batched.BatchedClique` run via
+the batched protocol ports in :mod:`repro.core.vmapped`.  Results are
+split back into exactly the per-trial store rows the serial backend
+writes: same hashes, same derived seeds, bit-identical outcome fields.
+
+Cells fall back to per-trial serial execution (the plain
+:func:`~repro.experiments.runner.execute_trial`) whenever lockstep
+batching is impossible or unprofitable:
+
+* the protocol has no batched port (the adaptive compiler branches on
+  per-trial network feedback);
+* per-trial routing schedules diverge
+  (:class:`~repro.core.batched_routing.CellUnbatchable` — e.g.
+  nonadaptive's shift-dependent return step at unlucky seeds);
+* per-trial metrics snapshots were requested (``REPRO_OBS_METRICS=1``) —
+  a batched run cannot scope counters to one trial;
+* the cell is a singleton, or anything at all goes wrong mid-batch
+  (including ``ProfileError`` configurations) — serial re-execution then
+  reproduces the exact serial ``unsupported``/``error`` rows.
+
+The fallback is the parity guarantee: the batched path only ever records
+rows for runs that completed batched, and those are bit-identical to
+serial by construction (same seed derivations, same schedules, lockstep
+rounds through the batched engine).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Dict, List, Sequence
+
+from repro.experiments.spec import TrialSpec
+
+#: upper bound on trials batched into one tensor program; larger cells are
+#: chunked so payload stacks stay a bounded multiple of one trial's memory
+MAX_BATCH_TRIALS = 64
+
+
+def make_batched_adversary(kind: str, alpha: float, seeds: Sequence[int]):
+    """Batched analogue of :func:`~repro.experiments.runner.make_adversary`:
+    native batched implementations where they exist, the per-trial wrapper
+    (serial instances driven in lockstep) for everything else."""
+    from repro.adversary import (BatchedNonAdaptiveAdversary,
+                                 BatchedNullAdversary, PerTrialAdversaryBatch)
+    from repro.experiments.runner import make_adversary
+    if kind == "null" or alpha <= 0:
+        return BatchedNullAdversary()
+    if kind == "nonadaptive":
+        return BatchedNonAdaptiveAdversary(alpha, seeds)
+    return PerTrialAdversaryBatch(
+        [make_adversary(kind, alpha, seed) for seed in seeds])
+
+
+def group_cells(trials: Sequence[TrialSpec]) -> "OrderedDict":
+    """Group trials by :attr:`TrialSpec.cell`, preserving first-seen cell
+    order and within-cell trial order (both follow the spec expansion)."""
+    cells: "OrderedDict" = OrderedDict()
+    for trial in trials:
+        cells.setdefault(trial.cell, []).append(trial)
+    return cells
+
+
+def _rows_serial(trials: Sequence[TrialSpec]) -> List[Dict]:
+    from repro.experiments.runner import execute_trial
+    return [execute_trial(t.to_dict()) for t in trials]
+
+
+def run_cell_batched(trials: Sequence[TrialSpec]) -> List[Dict]:
+    """Execute one cell's trials as one batched run; rows come back in
+    trial order with the exact serial row schema.  Any batching obstacle
+    downgrades the whole chunk to per-trial serial execution."""
+    from repro.core.messages import AllToAllInstance
+    from repro.core.vmapped import (BATCHED_PROTOCOLS, make_batched_protocol,
+                                    run_protocol_many)
+    from repro.experiments.runner import STATUS_OK
+    from repro.obs import metrics
+
+    head = trials[0]
+    if (len(trials) < 2 or head.protocol not in BATCHED_PROTOCOLS
+            or metrics.enabled()):
+        return _rows_serial(trials)
+    if len(trials) > MAX_BATCH_TRIALS:
+        return [row
+                for start in range(0, len(trials), MAX_BATCH_TRIALS)
+                for row in run_cell_batched(
+                    trials[start:start + MAX_BATCH_TRIALS])]
+
+    start = time.perf_counter()
+    try:
+        protocol = make_batched_protocol(head.protocol)
+        adversary = make_batched_adversary(
+            head.adversary, head.alpha,
+            [t.adversary_seed for t in trials])
+        instances = [AllToAllInstance.random(t.n, width=t.width,
+                                             seed=t.instance_seed)
+                     for t in trials]
+        reports = run_protocol_many(protocol, instances, adversary,
+                                    bandwidth=head.bandwidth,
+                                    seeds=[t.protocol_seed for t in trials])
+    except Exception:  # noqa: BLE001 — fall back, never guess at parity
+        return _rows_serial(trials)
+    # amortised wall time: the cell ran once for all of its trials
+    wall = round((time.perf_counter() - start) / len(trials), 6)
+    stamp = round(time.time(), 6)
+    rows = []
+    for trial, report in zip(trials, reports):
+        rows.append({
+            "hash": trial.content_hash(),
+            "trial": trial.to_dict(),
+            "status": STATUS_OK,
+            "rounds": report.rounds,
+            "bits_sent": report.bits_sent,
+            "accuracy": report.accuracy,
+            "correct_entries": report.correct_entries,
+            "total_entries": report.total_entries,
+            "entries_corrupted": report.entries_corrupted_in_transit,
+            "wall_seconds": wall,
+            "recorded_unix": stamp,
+        })
+    return rows

@@ -1,0 +1,111 @@
+"""The vmap backend must write bit-identical store rows to serial/process.
+
+This is the acceptance contract of the trial-batched execution engine: for
+any campaign, ``backend="vmap"`` produces exactly the rows the serial
+per-trial loop produces — same hashes, same outcome fields, same
+unsupported/error verdicts — differing only in the wall-clock fields.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import TrialStore, free_grid, run_campaign
+from repro.experiments.runner import STATUS_OK, STATUS_UNSUPPORTED
+
+#: fields that legitimately differ between executions of the same trial
+WALL_CLOCK_FIELDS = ("wall_seconds", "recorded_unix")
+
+
+def digest(result):
+    rows = []
+    for row in result.rows():
+        row = dict(row)
+        for field in WALL_CLOCK_FIELDS:
+            row.pop(field, None)
+        rows.append(row)
+    return json.dumps(rows, sort_keys=True)
+
+
+def run_backends(spec, backends=("serial", "vmap")):
+    digests = {}
+    for backend in backends:
+        result = run_campaign(spec, store=TrialStore(None), backend=backend,
+                              jobs=2 if backend == "process" else 1)
+        digests[backend] = (digest(result), result)
+    return digests
+
+
+class TestBackendParity:
+    def test_fault_free_cells_batch_bit_identically(self):
+        spec = free_grid(name="parity-ff",
+                         protocols=("det-sqrt", "det-logn"),
+                         adversaries=("null",), ns=(16,), alphas=(0.0,),
+                         widths=(4,), bandwidths=(8,), replicates=3)
+        digests = run_backends(spec, backends=("serial", "vmap", "process"))
+        assert digests["serial"][0] == digests["vmap"][0]
+        assert digests["serial"][0] == digests["process"][0]
+        rows = digests["vmap"][1].rows()
+        assert all(r["status"] == STATUS_OK for r in rows)
+
+    def test_adversarial_cells_native_and_fallback_wrapper(self):
+        # "nonadaptive" exercises the batched-mask fast path,
+        # "adaptive" the generic per-trial fallback wrapper
+        spec = free_grid(name="parity-adv", protocols=("det-sqrt",),
+                         adversaries=("nonadaptive", "adaptive"), ns=(16,),
+                         alphas=(1 / 16,), widths=(4,), bandwidths=(8,),
+                         replicates=2)
+        digests = run_backends(spec)
+        assert digests["serial"][0] == digests["vmap"][0]
+        rows = digests["vmap"][1].rows()
+        assert all(r["status"] == STATUS_OK for r in rows)
+        # the adversary actually bit: at least one trial saw corruption
+        assert any(r["entries_corrupted"] > 0 for r in rows)
+
+    def test_unsupported_configurations_match_serial_verdicts(self):
+        # alpha far outside the proof regime at n=16: every trial must
+        # come back as the exact serial ``unsupported`` row via the
+        # serial fallback, not crash the batch
+        spec = free_grid(name="parity-unsupported", protocols=("det-sqrt",),
+                         adversaries=("nonadaptive",), ns=(16,),
+                         alphas=(0.2,), widths=(4,), bandwidths=(8,),
+                         replicates=2)
+        digests = run_backends(spec)
+        assert digests["serial"][0] == digests["vmap"][0]
+        rows = digests["vmap"][1].rows()
+        assert all(r["status"] == STATUS_UNSUPPORTED for r in rows)
+
+    def test_protocol_without_batched_port_falls_back(self):
+        spec = free_grid(name="parity-adaptive-proto",
+                         protocols=("adaptive",), adversaries=("null",),
+                         ns=(16,), alphas=(0.0,), widths=(4,),
+                         bandwidths=(8,), replicates=2)
+        digests = run_backends(spec)
+        assert digests["serial"][0] == digests["vmap"][0]
+
+    def test_unknown_backend_rejected(self):
+        spec = free_grid(name="parity-bad", ns=(16,), alphas=(0.0,),
+                         replicates=1)
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_campaign(spec, store=TrialStore(None), backend="gpu")
+
+
+class TestHeaderDedup:
+    def test_identical_resume_appends_no_second_header(self, tmp_path):
+        path = str(tmp_path / "rows.jsonl")
+        spec = free_grid(name="dedup", protocols=("det-sqrt",),
+                         adversaries=("null",), ns=(16,), alphas=(0.0,),
+                         widths=(1,), bandwidths=(8,), replicates=2)
+        run_campaign(spec, store=path, resume=True)
+        run_campaign(spec, store=path, resume=True)
+
+        def count_headers(p):
+            with open(p, encoding="utf-8") as fh:
+                return sum(1 for line in fh
+                           if json.loads(line).get("kind") == "campaign")
+
+        assert count_headers(path) == 1
+        # a *different* spec under the same name legitimately re-records
+        run_campaign(spec.with_overrides(replicates=3), store=path,
+                     resume=True)
+        assert count_headers(path) == 2
