@@ -7,6 +7,7 @@ from repro.adversary.batched import (
     BatchedNonAdaptiveAdversary,
     BatchedNullAdversary,
     PerTrialAdversaryBatch,
+    PerTrialFailure,
 )
 from repro.adversary.budget import (
     FaultBudgetViolation,
@@ -41,6 +42,7 @@ __all__ = [
     "BatchedNonAdaptiveAdversary",
     "BatchedNullAdversary",
     "PerTrialAdversaryBatch",
+    "PerTrialFailure",
     "FaultBudgetViolation",
     "fault_degrees",
     "greedy_symmetric_selection",

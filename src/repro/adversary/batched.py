@@ -38,6 +38,22 @@ from repro.adversary.strategies import _tournament_matching
 from repro.utils.rng import derive
 
 
+class PerTrialFailure(Exception):
+    """One wrapped per-trial adversary crashed inside a batched cell.
+
+    Carries which trial failed so the vmap engine can degrade *that*
+    trial to serial execution and keep batching the rest, instead of
+    abandoning the whole cell.
+    """
+
+    def __init__(self, trial_index: int, cause: BaseException):
+        super().__init__(
+            f"per-trial adversary failed in batch slot {trial_index}: "
+            f"{cause!r}")
+        self.trial_index = trial_index
+        self.cause = cause
+
+
 @dataclass
 class BatchRoundView:
     """What a batched adversary may look at in round ``index`` — the
@@ -143,16 +159,26 @@ class PerTrialAdversaryBatch(BatchedAdversary):
             adversary.begin_protocol(n)
 
     def select_edges_many(self, view: BatchRoundView) -> np.ndarray:
-        return np.stack([
-            np.asarray(adv.select_edges(view.trial_view(t)), dtype=bool)
-            for t, adv in enumerate(self.adversaries)])
+        masks = []
+        for t, adv in enumerate(self.adversaries):
+            try:
+                masks.append(np.asarray(adv.select_edges(view.trial_view(t)),
+                                        dtype=bool))
+            except Exception as exc:  # noqa: BLE001 — isolate the one trial
+                raise PerTrialFailure(t, exc) from exc
+        return np.stack(masks)
 
     def corrupt_many(self, view: BatchRoundView,
                      edges: np.ndarray) -> np.ndarray:
-        return np.stack([
-            np.asarray(adv.corrupt(view.trial_view(t), edges[t]),
-                       dtype=np.int64)
-            for t, adv in enumerate(self.adversaries)])
+        delivered = []
+        for t, adv in enumerate(self.adversaries):
+            try:
+                delivered.append(np.asarray(
+                    adv.corrupt(view.trial_view(t), edges[t]),
+                    dtype=np.int64))
+            except Exception as exc:  # noqa: BLE001 — isolate the one trial
+                raise PerTrialFailure(t, exc) from exc
+        return np.stack(delivered)
 
 
 class BatchedNonAdaptiveAdversary(BatchedAdversary):

@@ -194,8 +194,14 @@ def _run_experiment(args, resume: bool) -> int:
               f"-> {row['status']} | {rate:.2f} trials/s | {eta}",
               flush=True)
 
+    policy = None
+    if args.timeout is not None or args.retries:
+        from repro.faults import ResiliencePolicy
+        policy = ResiliencePolicy(timeout_seconds=args.timeout,
+                                  retries=args.retries)
     result = run_campaign(spec, store=store_path, jobs=args.jobs,
                           resume=resume, backend=args.backend,
+                          policy=policy,
                           progress=progress if not args.quiet else None)
     print(result)
     print()
@@ -413,6 +419,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--replicates", type=int, default=None)
         p.add_argument("--seed", dest="seed_override", type=int, default=None)
         p.add_argument("--accuracy-bar", type=float, default=None)
+        p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-trial wall-clock budget; a trial past it "
+                            "records an error row (and retries, if any)")
+        p.add_argument("--retries", type=int, default=0,
+                       help="re-run crashed/timed-out trials up to this "
+                            "many times (retries reuse the trial's derived "
+                            "seeds, so recovered rows are bit-identical)")
         p.add_argument("--quiet", action="store_true",
                        help="suppress per-trial progress lines")
         p.add_argument("--dump-spec", action="store_true",

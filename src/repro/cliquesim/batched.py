@@ -140,7 +140,11 @@ class BatchedClique:
                               intended=intended.copy(),
                               histories=self.histories, label=label)
         edges = np.asarray(self.adversary.select_edges_many(view), dtype=bool)
-        validate_fault_sets(edges, self.n, self.adversary.alpha)
+        # see the serial engine: Byzantine-node models validate at degree
+        # budget ``validation_alpha`` while codes size from ``alpha``
+        validate_fault_sets(edges, self.n,
+                            getattr(self.adversary, "validation_alpha",
+                                    self.adversary.alpha))
         proposed = np.asarray(self.adversary.corrupt_many(view, edges),
                               dtype=np.int64)
         if proposed.shape != intended.shape:

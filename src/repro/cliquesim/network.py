@@ -128,7 +128,12 @@ class CongestedClique:
                          intended=intended.copy(), history=self.history,
                          label=label)
         edges = np.asarray(self.adversary.select_edges(view), dtype=bool)
-        validate_fault_set(edges, self.n, self.adversary.alpha)
+        # ``validation_alpha`` lets fault models whose degree budget differs
+        # from the code-sizing alpha (Byzantine nodes: degree n-1, error
+        # budget floor(alpha*n)) declare the budget they are held to
+        validate_fault_set(edges, self.n,
+                           getattr(self.adversary, "validation_alpha",
+                                   self.adversary.alpha))
         proposed = np.asarray(self.adversary.corrupt(view, edges),
                               dtype=np.int64)
         if proposed.shape != intended.shape:

@@ -26,6 +26,11 @@ class BinaryCode(abc.ABC):
     k: int
     #: codeword length in bits
     n: int
+    #: True iff ``decode_many_flagged`` accepts an ``erasures`` keyword —
+    #: a (count, n) boolean mask of positions *known* unreliable (e.g. the
+    #: transport's dropped mask).  Erasure-aware codes recover ``f`` pure
+    #: erasures up to ``f <= d - 1``, twice the errors-only radius.
+    supports_erasures: bool = False
 
     @property
     def rate(self) -> float:

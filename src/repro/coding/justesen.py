@@ -95,18 +95,40 @@ class ConcatenatedCode(BinaryCode):
         blocks = self.inner.encode_many(flat)
         return blocks.reshape(count, self.n)
 
-    def decode_many_flagged(self, received: np.ndarray):
+    supports_erasures = True
+
+    def decode_many_flagged(self, received: np.ndarray,
+                            erasures: np.ndarray | None = None):
         received = np.asarray(received, dtype=np.uint8)
         if received.size == 0:
             return (np.zeros((0, self.k), dtype=np.uint8),
                     np.zeros(0, dtype=bool))
         count = received.shape[0]
         blocks = received.reshape(count * self.outer.n, self.inner.n)
-        inner_messages = self.inner.decode_blocks(blocks)
+        block_erasures = None
+        outer_erasures = None
+        if erasures is not None:
+            masks = np.asarray(erasures, dtype=bool)
+            if masks.shape != received.shape:
+                raise ValueError(
+                    f"erasure mask shape {masks.shape} != {received.shape}")
+            if masks.any():
+                block_erasures = masks.reshape(count * self.outer.n,
+                                               self.inner.n)
+                # an inner block with >= ceil(d/2) erased bits may ML-decode
+                # to the wrong symbol even without errors — declare the outer
+                # symbol erased (cost 1 vs 2 for an undeclared error); below
+                # that threshold erasure-aware inner ML stays exact
+                threshold = math.ceil(self.inner.min_distance / 2)
+                outer_erasures = (block_erasures.sum(axis=1) >= threshold) \
+                    .reshape(count, self.outer.n)
+        inner_messages = self.inner.decode_blocks(blocks,
+                                                  erasures=block_erasures)
         weights = (1 << np.arange(self.inner.k, dtype=np.int64))
         symbols = (inner_messages.astype(np.int64) * weights[None, :]) \
             .sum(axis=1).reshape(count, self.outer.n)
-        message_symbols, failed = self.outer.decode_many_flagged(symbols)
+        message_symbols, failed = self.outer.decode_many_flagged(
+            symbols, erasures=outer_erasures)
         m = self.inner.k
         bits = ((message_symbols[:, :, None] >> np.arange(m)[None, None, :])
                 & 1).astype(np.uint8)
@@ -154,9 +176,18 @@ class PaddedCode(BinaryCode):
         out[:, :self.base.n] = inner
         return out
 
-    def decode_many_flagged(self, received: np.ndarray):
+    @property
+    def supports_erasures(self) -> bool:
+        return getattr(self.base, "supports_erasures", False)
+
+    def decode_many_flagged(self, received: np.ndarray,
+                            erasures: np.ndarray | None = None):
         received = np.asarray(received, dtype=np.uint8)
-        return self.base.decode_many_flagged(received[:, :self.base.n])
+        if erasures is None or not self.supports_erasures:
+            return self.base.decode_many_flagged(received[:, :self.base.n])
+        erasures = np.asarray(erasures, dtype=bool)[:, :self.base.n]
+        return self.base.decode_many_flagged(received[:, :self.base.n],
+                                             erasures=erasures)
 
 
 _FACTORY_CACHE: Dict[Tuple[int, float, int], BinaryCode] = {}

@@ -85,11 +85,16 @@ class LinearBlockCode(BinaryCode):
         best = int(np.argmin(distances))
         return _all_messages(self.k)[best].copy()
 
-    def decode_blocks(self, blocks: np.ndarray) -> np.ndarray:
+    def decode_blocks(self, blocks: np.ndarray,
+                      erasures: np.ndarray | None = None) -> np.ndarray:
         """Vectorised ML decoding of many length-n blocks at once.
 
         ``blocks`` has shape (num_blocks, n); returns (num_blocks, k).
         Uses bit-packed XOR + popcount so large batches stay in cache.
+        ``erasures`` optionally masks per-block known-unreliable positions
+        out of the distance computation (erasure-aware ML: a block with
+        ``b`` erased bits and ``e`` errors decodes exactly whenever
+        ``2e + b < d``).
         """
         blocks = np.asarray(blocks, dtype=np.uint8)
         if blocks.ndim != 2 or blocks.shape[1] != self.n:
@@ -97,27 +102,39 @@ class LinearBlockCode(BinaryCode):
         weights = (np.int64(1) << np.arange(self.n, dtype=np.int64))
         packed = (blocks.astype(np.int64) * weights[None, :]).sum(axis=1)
         codebook = (self._codebook.astype(np.int64) * weights[None, :]).sum(axis=1)
+        keep = None
+        if erasures is not None:
+            masks = np.asarray(erasures, dtype=bool)
+            if masks.shape != blocks.shape:
+                raise ValueError(
+                    f"erasure mask shape {masks.shape} != {blocks.shape}")
+            keep = ((~masks).astype(np.int64) * weights[None, :]).sum(axis=1)
         table = _POPCOUNT_16
         out = np.empty(blocks.shape[0], dtype=np.int64)
         step = 1 << 14
         for start in range(0, packed.size, step):
             xor = packed[start:start + step, None] ^ codebook[None, :]
+            if keep is not None:
+                xor &= keep[start:start + step, None]
             dist = (table[xor & 0xFFFF] + table[(xor >> 16) & 0xFFFF]
                     + table[(xor >> 32) & 0xFFFF])
             out[start:start + step] = dist.argmin(axis=1)
         return _all_messages(self.k)[out]
 
     # -- batched BinaryCode interface -----------------------------------------
+    supports_erasures = True
+
     def encode_many(self, messages: np.ndarray) -> np.ndarray:
         messages = np.asarray(messages, dtype=np.uint8)
         if messages.size == 0:
             return np.zeros((0, self.n), dtype=np.uint8)
         return ((messages.astype(np.int64) @ self.generator) % 2).astype(np.uint8)
 
-    def decode_many_flagged(self, received: np.ndarray):
+    def decode_many_flagged(self, received: np.ndarray,
+                            erasures: np.ndarray | None = None):
         received = np.asarray(received, dtype=np.uint8)
-        out = self.decode_blocks(received) if received.size else \
-            np.zeros((0, self.k), dtype=np.uint8)
+        out = self.decode_blocks(received, erasures=erasures) \
+            if received.size else np.zeros((0, self.k), dtype=np.uint8)
         return out, np.zeros(received.shape[0], dtype=bool)
 
     def __repr__(self) -> str:

@@ -279,8 +279,16 @@ class BatchedRouter:
         bits2 = np.where(got2 < 0, 0,
                          (got2 >> expanded_planes[None, :, None]) & 1
                          ).astype(np.uint8)
-        decoded, failed = code.decode_many_flagged(
-            bits2.reshape(trials * expand.size, length))
+        # thread round-2 drops into erasure-aware codes (mirrors the serial
+        # router's gating so drop-free runs stay on the exact legacy path)
+        erase2 = got2 < 0
+        if erase2.any() and getattr(code, "supports_erasures", False):
+            decoded, failed = code.decode_many_flagged(
+                bits2.reshape(trials * expand.size, length),
+                erasures=erase2.reshape(trials * expand.size, length))
+        else:
+            decoded, failed = code.decode_many_flagged(
+                bits2.reshape(trials * expand.size, length))
         return {
             "decoded": decoded.reshape(trials, expand.size, -1),
             "failed": np.asarray(failed, dtype=bool).reshape(trials,
@@ -420,7 +428,11 @@ class BatchedRouter:
         bits2 = np.where(got2 < 0, 0,
                          (got2 >> expanded_planes[:, None]) & 1
                          ).astype(np.uint8)
-        decoded, failed = code.decode_many_flagged(bits2)
+        erase2 = got2 < 0
+        if erase2.any() and getattr(code, "supports_erasures", False):
+            decoded, failed = code.decode_many_flagged(bits2, erasures=erase2)
+        else:
+            decoded, failed = code.decode_many_flagged(bits2)
         for e in range(expand.size):
             trial, _, chunk, _ = all_items[expand[e]]
             tgt = int(targets[e])

@@ -92,6 +92,10 @@ class RoutingResult:
     #: relay bit was expected); decoded as 0 but surfaced here so callers
     #: can see drops separately from content corruption
     dropped_entries: int = 0
+    #: round-2 drops threaded into the decoder as declared erasures
+    #: (errors-and-erasures decoding doubles the radius for pure drops);
+    #: zero when the code is not erasure-aware or nothing was dropped
+    erased_entries: int = 0
 
     def received(self, target: int, source: int, slot: int = 0) -> np.ndarray:
         return self.outputs[target][(source, slot)]
@@ -149,7 +153,7 @@ class SuperMessageRouter:
         raw: Dict[int, Dict[MessageKey, Dict[int, np.ndarray]]] = \
             defaultdict(lambda: defaultdict(dict))
         failures: List[Tuple[int, MessageKey]] = []
-        stats = {"dropped": 0}
+        stats = {"dropped": 0, "erased": 0}
         bandwidth = net.bandwidth
         for wave_start in range(0, len(batches), bandwidth):
             wave = batches[wave_start:wave_start + bandwidth]
@@ -162,7 +166,8 @@ class SuperMessageRouter:
                              decode_failures=failures,
                              batches=len(batches),
                              codeword_bits=length,
-                             dropped_entries=stats["dropped"])
+                             dropped_entries=stats["dropped"],
+                             erased_entries=stats["erased"])
 
     # -- chunking ---------------------------------------------------------------
     def _split_into_chunks(self, messages: Sequence[SuperMessage],
@@ -325,7 +330,15 @@ class SuperMessageRouter:
         bits2 = np.where(got2 < 0, 0,
                          (got2 >> expanded_planes[:, None]) & 1
                          ).astype(np.uint8)
-        decoded, failed = code.decode_many_flagged(bits2)
+        # round-2 drops are receiver-known erasures; thread them into
+        # erasure-aware codes for the doubled pure-drop radius (gated so
+        # drop-free runs take the exact pre-existing decode path)
+        erase2 = got2 < 0
+        if erase2.any() and getattr(code, "supports_erasures", False):
+            stats["erased"] += int(erase2.sum())
+            decoded, failed = code.decode_many_flagged(bits2, erasures=erase2)
+        else:
+            decoded, failed = code.decode_many_flagged(bits2)
         for e in range(expand.size):
             _, chunk, _ = all_items[expand[e]]
             t = int(targets[e])
@@ -412,20 +425,30 @@ class SuperMessageRouter:
                                label=f"{label}/r2")
 
         rows = []
+        row_erasures = []
         metas = []
         for row, (plane, chunk, relays, in_load, out_load) in enumerate(flat):
             for t in chunk.targets:
                 bits2 = np.zeros(code.n, dtype=np.uint8)
+                erased = np.zeros(code.n, dtype=bool)
                 for pos, w in enumerate(relays):
                     w = int(w)
                     if in_load[chunk.source][w] == 1 and out_load[w][t] == 1:
                         got2 = delivered2[w, t]
                         if got2 < 0:
                             stats["dropped"] += 1
+                            erased[pos] = True
                         bits2[pos] = 0 if got2 < 0 else (int(got2) >> plane) & 1
                 rows.append(bits2)
+                row_erasures.append(erased)
                 metas.append((chunk, t))
-        decoded, failed = code.decode_many_flagged(np.stack(rows))
+        erase_mat = np.stack(row_erasures)
+        if erase_mat.any() and getattr(code, "supports_erasures", False):
+            stats["erased"] += int(erase_mat.sum())
+            decoded, failed = code.decode_many_flagged(np.stack(rows),
+                                                       erasures=erase_mat)
+        else:
+            decoded, failed = code.decode_many_flagged(np.stack(rows))
         for (chunk, t), message_bits, bad in zip(metas, decoded, failed):
             raw[t][(chunk.source, chunk.slot)][chunk.index] = \
                 message_bits[:chunk.bits.size]

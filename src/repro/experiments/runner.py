@@ -33,10 +33,18 @@ STATUS_ERROR = "error"               # crash: bug or bad configuration
 
 
 def make_adversary(kind: str, alpha: float, seed: int):
-    """Resolve an adversary *name* (the declarative form used by specs)."""
+    """Resolve an adversary *name* (the declarative form used by specs).
+
+    For the stochastic channel kinds, ``alpha`` is the per-edge fault
+    probability (and the degree budget the masks are trimmed to); for
+    ``byzantine-nodes`` it is the *node* fraction — ``floor(alpha * n)``
+    nodes corrupt all of their incident edges.
+    """
     from repro.adversary import (AdaptiveAdversary, NonAdaptiveAdversary,
                                  NullAdversary, SlidingWindowAdversary,
                                  TargetedAdaptiveAdversary)
+    from repro.faults.channels import (ByzantineNodeAdversary,
+                                       GilbertElliottChannel, IIDEdgeChannel)
     if kind == "null" or alpha <= 0:
         return NullAdversary()
     if kind == "adaptive":
@@ -47,6 +55,14 @@ def make_adversary(kind: str, alpha: float, seed: int):
         return SlidingWindowAdversary(alpha, seed=seed)
     if kind == "targeted":
         return TargetedAdaptiveAdversary(alpha, victims=(0,), seed=seed)
+    if kind == "iid-corrupt":
+        return IIDEdgeChannel(alpha, mode="corrupt", seed=seed)
+    if kind == "iid-erase":
+        return IIDEdgeChannel(alpha, mode="erase", seed=seed)
+    if kind == "gilbert-elliott":
+        return GilbertElliottChannel(alpha, mode="corrupt", seed=seed)
+    if kind == "byzantine-nodes":
+        return ByzantineNodeAdversary(alpha, mode="corrupt", seed=seed)
     raise ValueError(f"unknown adversary kind {kind!r}; known: "
                      f"{sorted(ADVERSARIES)}")
 
@@ -58,6 +74,10 @@ ADVERSARIES = {
     "nonadaptive": "fault schedule fixed before round 0",
     "sliding-window": "mobile window sweeping the id space",
     "targeted": "budget concentrated on victim node 0",
+    "iid-corrupt": "stochastic i.i.d. per-edge bit-flip channel",
+    "iid-erase": "stochastic i.i.d. per-edge erasure (drop) channel",
+    "gilbert-elliott": "two-state bursty channel (stationary rate alpha)",
+    "byzantine-nodes": "floor(alpha*n) nodes corrupt all incident edges",
 }
 
 
@@ -123,9 +143,12 @@ def execute_trial(trial_dict: Dict) -> Dict:
     return row
 
 
-def _execute_chunk(trial_dicts: List[Dict]) -> List[Dict]:
+def _execute_chunk(trial_dicts: List[Dict], policy=None) -> List[Dict]:
     """Worker entry point: run a chunk of trials in one process hop."""
-    return [execute_trial(d) for d in trial_dicts]
+    if policy is None or not policy.active:
+        return [execute_trial(d) for d in trial_dicts]
+    from repro.faults.resilience import execute_trial_resilient
+    return [execute_trial_resilient(d, policy) for d in trial_dicts]
 
 
 @dataclass
@@ -168,7 +191,8 @@ def run_campaign(spec: ExperimentSpec,
                  resume: bool = False,
                  progress: Optional[Callable[[int, int, Dict], None]] = None,
                  chunks_per_job: int = 4,
-                 backend: Optional[str] = None) -> CampaignResult:
+                 backend: Optional[str] = None,
+                 policy=None) -> CampaignResult:
     """Execute every trial of ``spec`` not already in ``store``.
 
     ``resume=False`` re-executes all trials (overwriting their store rows);
@@ -186,6 +210,12 @@ def run_campaign(spec: ExperimentSpec,
     cells that cannot batch fall back to serial per trial).  ``None``
     keeps the historical behaviour: process when ``jobs > 1``, else
     serial.
+
+    ``policy`` is an optional :class:`repro.faults.ResiliencePolicy`
+    adding per-trial wall-clock timeouts and bounded retries (every
+    retry re-runs the identical trial dict, so recovered rows are
+    bit-identical to undisturbed ones).  ``None`` keeps the legacy
+    fast path.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
@@ -234,19 +264,21 @@ def run_campaign(spec: ExperimentSpec,
     if backend == "vmap":
         from repro.experiments.vmap import group_cells, run_cell_batched
         for cell_trials in group_cells(pending).values():
-            for row in run_cell_batched(cell_trials):
+            for row in run_cell_batched(cell_trials, policy=policy):
                 record(row)
         return result
 
     if backend == "serial" or jobs == 1 or len(pending) <= 1:
+        from repro.faults.resilience import execute_trial_resilient
         for trial in pending:
-            record(execute_trial(trial.to_dict()))
+            record(execute_trial_resilient(trial.to_dict(), policy))
         return result
 
     chunk_size = max(1, -(-len(pending) // (jobs * chunks_per_job)))
     chunks = _chunked([t.to_dict() for t in pending], chunk_size)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(_execute_chunk, chunk) for chunk in chunks]
+        futures = [pool.submit(_execute_chunk, chunk, policy)
+                   for chunk in chunks]
         for future in as_completed(futures):
             for row in future.result():
                 record(row)

@@ -13,9 +13,14 @@ replicate, base_seed).  Because the key is content-derived:
 * two campaigns that share cells share work;
 * a store can be concatenated from shards (last write wins on duplicates).
 
-Appends are flushed line-by-line, so a killed campaign loses at most the
-trials in flight; a truncated final line (the crash case) is skipped on
-load rather than poisoning the store.
+Crash tolerance: every append is a *single* ``os.write`` to an
+``O_APPEND`` descriptor, so a row is either fully on disk or absent — a
+killed campaign loses at most the trials in flight.  If a worker was
+killed mid-write anyway (e.g. a partial line from a pre-hardening store,
+or a torn page after power loss), ``_load`` detects the unterminated
+final line, quarantines it to a ``<path>.torn`` sidecar, and truncates
+the store back to the last complete row so the trial re-runs as pending;
+mid-file garbage lines are quarantined the same way and skipped.
 """
 
 from __future__ import annotations
@@ -31,29 +36,51 @@ class TrialStore:
     """JSONL-backed map from trial content hash to result row.
 
     ``path=None`` gives a pure in-memory store (the benchmarks and unit
-    tests use this; the CLI always passes a path).
+    tests use this; the CLI always passes a path).  After construction,
+    :attr:`torn` counts the partially-written/corrupt lines that were
+    quarantined to the ``.torn`` sidecar during load (0 for clean stores).
     """
 
     def __init__(self, path: Optional[str] = None):
         self.path = path
         self._rows: Dict[str, Dict] = {}
-        self._handle = None
+        self._fd: Optional[int] = None
+        #: corrupt lines quarantined on load (torn tail + mid-file garbage)
+        self.torn = 0
         if path is not None and os.path.exists(path):
             self._load()
 
     # -- reading -------------------------------------------------------------
+    def _quarantine(self, fragment: bytes) -> None:
+        """Append a corrupt line to the ``.torn`` sidecar for post-mortems."""
+        self.torn += 1
+        with open(self.path + ".torn", "ab") as sidecar:
+            sidecar.write(fragment.rstrip(b"\n") + b"\n")
+
     def _load(self) -> None:
-        with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    row = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn final line from an interrupted run
-                if isinstance(row, dict) and "hash" in row:
-                    self._rows[row["hash"]] = row
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        if not data:
+            return
+        if not data.endswith(b"\n"):
+            # torn tail: a writer died mid-line.  Quarantine the fragment
+            # and truncate the store back to the last complete row — the
+            # trial it belonged to is simply pending again.
+            cut = data.rfind(b"\n") + 1
+            self._quarantine(data[cut:])
+            with open(self.path, "r+b") as fh:
+                fh.truncate(cut)
+            data = data[:cut]
+        for raw in data.split(b"\n"):
+            if not raw.strip():
+                continue
+            try:
+                row = json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                self._quarantine(raw)  # mid-file garbage: skip but keep it
+                continue
+            if isinstance(row, dict) and "hash" in row:
+                self._rows[row["hash"]] = row
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -100,22 +127,27 @@ class TrialStore:
             raise ValueError("result row must carry its trial hash")
         self._rows[row["hash"]] = row
         if self.path is not None:
-            if self._handle is None:
+            if self._fd is None:
                 directory = os.path.dirname(self.path)
                 if directory:
                     os.makedirs(directory, exist_ok=True)
-                self._handle = open(self.path, "a", encoding="utf-8")
-            self._handle.write(json.dumps(row, sort_keys=True) + "\n")
-            self._handle.flush()
+                self._fd = os.open(self.path,
+                                   os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                                   0o644)
+            # one os.write per row: O_APPEND makes the line land atomically
+            # at the end of the file, so a SIGKILL between rows can never
+            # interleave or tear a line of this writer
+            os.write(self._fd,
+                     (json.dumps(row, sort_keys=True) + "\n").encode("utf-8"))
 
     def extend(self, rows: Iterable[Dict]) -> None:
         for row in rows:
             self.append(row)
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
 
     def __enter__(self) -> "TrialStore":
         return self

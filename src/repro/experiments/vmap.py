@@ -23,6 +23,17 @@ batching is impossible or unprofitable:
   (including ``ProfileError`` configurations) — serial re-execution then
   reproduces the exact serial ``unsupported``/``error`` rows.
 
+One exception is finer-grained: when a *wrapped per-trial adversary*
+crashes inside a :class:`~repro.adversary.PerTrialAdversaryBatch`
+(:class:`~repro.adversary.PerTrialFailure`), only the crashing trial
+degrades to serial execution — its row records the fallback reason —
+and the remaining trials re-batch from scratch (their streams derive
+from their own seeds, so dropping a slot changes nothing for them).
+A :class:`~repro.faults.ResiliencePolicy` threads through every
+fallback path, and chaos-marked trials (``REPRO_CHAOS_TIMEOUT``) are
+peeled out of the batch so the injection and its retries actually
+happen.
+
 The fallback is the parity guarantee: the batched path only ever records
 rows for runs that completed batched, and those are bit-identical to
 serial by construction (same seed derivations, same schedules, lockstep
@@ -49,10 +60,21 @@ def make_batched_adversary(kind: str, alpha: float, seeds: Sequence[int]):
     from repro.adversary import (BatchedNonAdaptiveAdversary,
                                  BatchedNullAdversary, PerTrialAdversaryBatch)
     from repro.experiments.runner import make_adversary
+    from repro.faults.channels import (BatchedByzantineNodeAdversary,
+                                       BatchedGilbertElliottChannel,
+                                       BatchedIIDEdgeChannel)
     if kind == "null" or alpha <= 0:
         return BatchedNullAdversary()
     if kind == "nonadaptive":
         return BatchedNonAdaptiveAdversary(alpha, seeds)
+    if kind == "iid-corrupt":
+        return BatchedIIDEdgeChannel(alpha, seeds, mode="corrupt")
+    if kind == "iid-erase":
+        return BatchedIIDEdgeChannel(alpha, seeds, mode="erase")
+    if kind == "gilbert-elliott":
+        return BatchedGilbertElliottChannel(alpha, seeds, mode="corrupt")
+    if kind == "byzantine-nodes":
+        return BatchedByzantineNodeAdversary(alpha, seeds, mode="corrupt")
     return PerTrialAdversaryBatch(
         [make_adversary(kind, alpha, seed) for seed in seeds])
 
@@ -66,45 +88,90 @@ def group_cells(trials: Sequence[TrialSpec]) -> "OrderedDict":
     return cells
 
 
-def _rows_serial(trials: Sequence[TrialSpec]) -> List[Dict]:
-    from repro.experiments.runner import execute_trial
-    return [execute_trial(t.to_dict()) for t in trials]
+def _rows_serial(trials: Sequence[TrialSpec], policy=None) -> List[Dict]:
+    from repro.faults.resilience import execute_trial_resilient
+    return [execute_trial_resilient(t.to_dict(), policy) for t in trials]
 
 
-def run_cell_batched(trials: Sequence[TrialSpec]) -> List[Dict]:
+def _rows_per_trial_failure(trials: Sequence[TrialSpec], failure,
+                            policy=None) -> List[Dict]:
+    """Degrade exactly the failing trial to serial and keep batching the
+    rest — the batched analogue of the serial runner's per-trial failure
+    containment.  The serial-fallback row records why it fell back."""
+    idx = failure.trial_index
+    row = _rows_serial(trials[idx:idx + 1], policy)[0]
+    row["fallback"] = f"per-trial batch failure: {failure.cause!r}"
+    rest = list(trials[:idx]) + list(trials[idx + 1:])
+    # fresh batched run over the survivors: per-trial streams are derived
+    # from each trial's own seeds, so dropping one slot changes nothing
+    # for the others
+    rest_rows = run_cell_batched(rest, policy=policy) if rest else []
+    return rest_rows[:idx] + [row] + rest_rows[idx:]
+
+
+def run_cell_batched(trials: Sequence[TrialSpec],
+                     policy=None) -> List[Dict]:
     """Execute one cell's trials as one batched run; rows come back in
-    trial order with the exact serial row schema.  Any batching obstacle
-    downgrades the whole chunk to per-trial serial execution."""
+    trial order with the exact serial row schema.  A crash of one wrapped
+    per-trial adversary (:class:`~repro.adversary.batched.PerTrialFailure`)
+    downgrades only that trial to serial execution; any other batching
+    obstacle downgrades the whole chunk."""
+    from repro.adversary import PerTrialFailure
     from repro.core.messages import AllToAllInstance
     from repro.core.vmapped import (BATCHED_PROTOCOLS, make_batched_protocol,
                                     run_protocol_many)
     from repro.experiments.runner import STATUS_OK
+    from repro.faults.resilience import (_chaos_hits, chaos_timeout_fraction,
+                                         trial_alarm)
     from repro.obs import metrics
 
     head = trials[0]
     if (len(trials) < 2 or head.protocol not in BATCHED_PROTOCOLS
             or metrics.enabled()):
-        return _rows_serial(trials)
+        return _rows_serial(trials, policy)
+    chaos = chaos_timeout_fraction()
+    if chaos > 0.0:
+        # chaos-marked trials must go through the resilient serial path so
+        # the injected timeout (and its retries) actually happen; batching
+        # would silently skip the injection
+        hit = [t for t in trials if _chaos_hits(t.content_hash(), chaos)]
+        if hit:
+            hit_hashes = {t.content_hash() for t in hit}
+            calm = [t for t in trials if t.content_hash() not in hit_hashes]
+            by_hash = {r["hash"]: r for r in (
+                run_cell_batched(calm, policy=policy) if calm else [])}
+            for t, row in zip(hit, _rows_serial(hit, policy)):
+                by_hash[row["hash"]] = row
+            return [by_hash[t.content_hash()] for t in trials]
     if len(trials) > MAX_BATCH_TRIALS:
         return [row
                 for start in range(0, len(trials), MAX_BATCH_TRIALS)
                 for row in run_cell_batched(
-                    trials[start:start + MAX_BATCH_TRIALS])]
+                    trials[start:start + MAX_BATCH_TRIALS], policy=policy)]
 
     start = time.perf_counter()
+    budget = (policy.timeout_seconds * len(trials)
+              if policy is not None and policy.timeout_seconds else None)
     try:
-        protocol = make_batched_protocol(head.protocol)
-        adversary = make_batched_adversary(
-            head.adversary, head.alpha,
-            [t.adversary_seed for t in trials])
-        instances = [AllToAllInstance.random(t.n, width=t.width,
-                                             seed=t.instance_seed)
-                     for t in trials]
-        reports = run_protocol_many(protocol, instances, adversary,
-                                    bandwidth=head.bandwidth,
-                                    seeds=[t.protocol_seed for t in trials])
+        # the whole cell gets the summed per-trial budget; a cell-level
+        # timeout falls through the generic handler to resilient serial
+        # execution, where each trial is guarded individually
+        with trial_alarm(budget):
+            protocol = make_batched_protocol(head.protocol)
+            adversary = make_batched_adversary(
+                head.adversary, head.alpha,
+                [t.adversary_seed for t in trials])
+            instances = [AllToAllInstance.random(t.n, width=t.width,
+                                                 seed=t.instance_seed)
+                         for t in trials]
+            reports = run_protocol_many(
+                protocol, instances, adversary,
+                bandwidth=head.bandwidth,
+                seeds=[t.protocol_seed for t in trials])
+    except PerTrialFailure as failure:
+        return _rows_per_trial_failure(trials, failure, policy)
     except Exception:  # noqa: BLE001 — fall back, never guess at parity
-        return _rows_serial(trials)
+        return _rows_serial(trials, policy)
     # amortised wall time: the cell ran once for all of its trials
     wall = round((time.perf_counter() - start) / len(trials), 6)
     stamp = round(time.time(), 6)

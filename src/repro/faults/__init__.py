@@ -1,0 +1,55 @@
+"""Fault injection and runner resilience (`repro.faults`).
+
+Two halves:
+
+* :mod:`repro.faults.channels` — stochastic per-edge channel adversaries
+  (i.i.d. and Gilbert–Elliott bursty, in ``corrupt`` and ``erase``
+  flavours) and the Byzantine-*node* adversary, each with serial and
+  natively-batched implementations;
+* :mod:`repro.faults.resilience` — per-trial wall-clock timeouts, bounded
+  retries with exponential backoff (bit-identical on success), and the
+  ``REPRO_CHAOS_TIMEOUT`` chaos-injection hook.
+
+The channels register as adversary kinds ``iid-corrupt``, ``iid-erase``,
+``gilbert-elliott`` and ``byzantine-nodes`` in the experiments runner and
+land as the named campaigns ``stochastic-iid``, ``stochastic-bursty`` and
+``byzantine-nodes`` in the registry.
+"""
+
+from repro.faults.channels import (
+    BatchedByzantineNodeAdversary,
+    BatchedGilbertElliottChannel,
+    BatchedIIDEdgeChannel,
+    ByzantineNodeAdversary,
+    GilbertElliottChannel,
+    IIDEdgeChannel,
+    StochasticEdgeChannel,
+    degree_capped_mask,
+)
+from repro.faults.resilience import (
+    CHAOS_TIMEOUT_ENV,
+    NO_POLICY,
+    ResiliencePolicy,
+    TrialTimeout,
+    chaos_timeout_fraction,
+    execute_trial_resilient,
+    trial_alarm,
+)
+
+__all__ = [
+    "BatchedByzantineNodeAdversary",
+    "BatchedGilbertElliottChannel",
+    "BatchedIIDEdgeChannel",
+    "ByzantineNodeAdversary",
+    "GilbertElliottChannel",
+    "IIDEdgeChannel",
+    "StochasticEdgeChannel",
+    "degree_capped_mask",
+    "CHAOS_TIMEOUT_ENV",
+    "NO_POLICY",
+    "ResiliencePolicy",
+    "TrialTimeout",
+    "chaos_timeout_fraction",
+    "execute_trial_resilient",
+    "trial_alarm",
+]

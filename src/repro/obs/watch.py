@@ -26,21 +26,30 @@ from typing import Dict, List, Optional
 def read_rows(path: str) -> List[Dict]:
     """All rows of a JSONL store, in file order; duplicate hashes are kept
     (the last write wins for totals via the hash-keyed pass in
-    :func:`snapshot`), torn lines are skipped."""
+    :func:`snapshot`), torn lines are skipped.
+
+    The read is binary so an in-flight (or crash-torn) final line —
+    which may end mid-multibyte-character — can never crash the watcher:
+    an unterminated tail is simply not a row yet, so its trial still
+    counts as pending."""
     rows: List[Dict] = []
     if not os.path.exists(path):
         return rows
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn final line of an in-flight append
-            if isinstance(row, dict):
-                rows.append(row)
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if data and not data.endswith(b"\n"):
+        # partially-written final line: drop it — the writer (or a resume
+        # after a crash) will complete or quarantine it
+        data = data[:data.rfind(b"\n") + 1]
+    for raw in data.split(b"\n"):
+        if not raw.strip():
+            continue
+        try:
+            row = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            continue  # corrupt line (quarantined on the next store load)
+        if isinstance(row, dict):
+            rows.append(row)
     return rows
 
 

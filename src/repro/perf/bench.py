@@ -108,6 +108,48 @@ def bench_rs_batch_bm(count: int, repeats: int) -> Dict:
     return _entry("rs-batch-bm", count, "words", ref, batched)
 
 
+def bench_rs_erasure_decode(count: int, repeats: int) -> Dict:
+    """Errors-and-erasures batch decode under a transport-realistic mix:
+    every row carries erasures (dropped-symbol positions, as the transport
+    flags them), most also carry random symbol errors, and a quarter are
+    pushed past the combined radius ``2e + f <= d - 1`` so the failure
+    flags race too.  Reference is the scalar Gamma-seeded pipeline run one
+    word at a time; the two pipelines are implemented independently, so
+    the parity assertion double-checks the algebra."""
+    codec = ReedSolomonCodec(GF2m(8), n=60, k=40)
+    rng = make_rng(107)
+    d = codec.n - codec.k + 1
+    msgs = rng.integers(0, 256, size=(count, codec.k))
+    noisy = codec.encode_many(msgs)
+    masks = np.zeros((count, codec.n), dtype=bool)
+    for i in range(count):
+        if i % 4 == 3:
+            # beyond the radius: more erasures than the distance allows
+            f = int(rng.integers(d, codec.n + 1))
+            errors = 0
+        else:
+            # in-regime mix: f erasures plus e errors with 2e + f <= d - 1
+            f = int(rng.integers(1, d))
+            errors = int(rng.integers(0, (d - 1 - f) // 2 + 1))
+        positions = rng.choice(codec.n, f + errors, replace=False)
+        masks[i, positions[:f]] = True
+        noisy[i, positions[:f]] = rng.integers(0, 256, f)  # garbage under mask
+        if errors:
+            noisy[i, positions[f:]] ^= rng.integers(1, 256, errors)
+    ref_out = reference.rs_correct_many_erasures_scalar(codec, noisy, masks)
+    batch_out = codec.correct_many(noisy, erasures=masks)
+    assert np.array_equal(ref_out[0], batch_out[0])
+    assert np.array_equal(ref_out[1], batch_out[1])
+    assert batch_out[1].any()       # beyond-radius rows must flag
+    assert not batch_out[1].all()   # in-regime rows must decode
+    ref = _best_of(
+        lambda: reference.rs_correct_many_erasures_scalar(codec, noisy,
+                                                          masks), 1)
+    batched = _best_of(lambda: codec.correct_many(noisy, erasures=masks),
+                       repeats)
+    return _entry("rs-erasure-decode", count, "words", ref, batched)
+
+
 def bench_rs_symbol_decode(count: int, repeats: int) -> Dict:
     codec = ReedSolomonCodec(GF2m(8), n=60, k=40)
     rng = make_rng(101)
@@ -348,6 +390,9 @@ def _suite_plan(suite: str):
                                                      r)),
             ("rs-batch-bm",
              lambda smoke, r: bench_rs_batch_bm(256 if smoke else 2048, r)),
+            ("rs-erasure-decode",
+             lambda smoke, r: bench_rs_erasure_decode(256 if smoke else 2048,
+                                                      r)),
             ("rs-binary-decode",
              lambda smoke, r: bench_rs_binary_decode(128 if smoke else 1024,
                                                      r)),

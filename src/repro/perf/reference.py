@@ -128,6 +128,30 @@ def rs_correct_many_perrow_bm(codec, words: np.ndarray):
     return corrected, failed
 
 
+def rs_correct_many_erasures_scalar(codec, words: np.ndarray,
+                                    erasures: np.ndarray):
+    """Per-row errors-and-erasures decoding: each word goes through the
+    scalar Gamma-seeded Berlekamp–Massey pipeline
+    (:meth:`ReedSolomonCodec.correct` with its ``erasures`` argument),
+    one python-level decode at a time.  The reference the batched
+    ``_correct_many_erasures`` kernel races — and, because the scalar and
+    batched pipelines are implemented independently, a parity assertion
+    between them checks the algebra twice."""
+    words = np.asarray(words, dtype=np.int64)
+    erasures = np.asarray(erasures, dtype=bool)
+    if words.shape != erasures.shape:
+        raise ValueError("words and erasures must have matching shapes")
+    count = words.shape[0]
+    corrected = words.copy()
+    failed = np.zeros(count, dtype=bool)
+    for i in range(count):
+        try:
+            corrected[i] = codec.correct(words[i], erasures=erasures[i])
+        except DecodingFailure:
+            failed[i] = True
+    return corrected, failed
+
+
 def stage_symbols_uint8(symbols: np.ndarray, sym_bits: int) -> np.ndarray:
     """The PR-2 compiler staging shape: bit-expand a ``(..., count)`` symbol
     tensor into a ``(..., count * sym_bits)`` uint8 tensor (the scatter /

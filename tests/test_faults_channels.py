@@ -1,0 +1,216 @@
+"""Stochastic channel adversaries (`repro.faults.channels`).
+
+Property tests: every mask any channel ever emits respects the
+symmetric faulty-degree budget; serial and natively-batched variants are
+bit-identical; transport drop positions reach the decoder as erasure
+positions; and whole campaigns under channel adversaries match between
+the serial and vmap backends.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.adversary.base import RoundView
+from repro.adversary.budget import fault_degrees, max_faulty_degree
+from repro.experiments import TrialStore, free_grid, run_campaign
+from repro.faults.channels import (BatchedByzantineNodeAdversary,
+                                   BatchedGilbertElliottChannel,
+                                   BatchedIIDEdgeChannel,
+                                   ByzantineNodeAdversary,
+                                   GilbertElliottChannel, IIDEdgeChannel,
+                                   degree_capped_mask)
+from repro.utils.rng import make_rng
+
+
+def _view(n, index, width=8, fill=1):
+    intended = np.full((n, n), fill, dtype=np.int64)
+    np.fill_diagonal(intended, -1)
+    return RoundView(index=index, width=width, intended=intended, history=[])
+
+
+def _run_rounds(channel, n, rounds=12, width=8):
+    channel.begin_protocol(n)
+    masks = []
+    for r in range(rounds):
+        view = _view(n, r, width)
+        mask = channel.select_edges(view)
+        channel.corrupt(view, mask)  # keep any content RNG in lockstep
+        masks.append(mask)
+    return np.stack(masks)
+
+
+class TestBudgetProperties:
+    @pytest.mark.parametrize("n,alpha", [(8, 0.1), (16, 0.2), (24, 0.08),
+                                         (33, 0.3), (16, 0.5)])
+    @pytest.mark.parametrize("kind", ["iid", "ge"])
+    def test_channels_never_exceed_budget(self, n, alpha, kind):
+        if kind == "iid":
+            channel = IIDEdgeChannel(alpha, seed=7)
+        else:
+            channel = GilbertElliottChannel(alpha, seed=7)
+        budget = max_faulty_degree(n, alpha)
+        for mask in _run_rounds(channel, n, rounds=16):
+            assert np.array_equal(mask, mask.T)
+            assert not mask.diagonal().any()
+            assert fault_degrees(mask).max(initial=0) <= budget
+
+    def test_degree_cap_is_deterministic_and_tight(self):
+        rng = make_rng(3)
+        n, budget = 20, 3
+        sample = rng.random((n, n)) < 0.6
+        sample = np.triu(sample, 1)
+        sample = sample | sample.swapaxes(-1, -2)
+        priority = rng.random((n, n))
+        priority = np.triu(priority, 1)
+        priority = priority + priority.swapaxes(-1, -2)
+        a = degree_capped_mask(sample, priority, budget)
+        b = degree_capped_mask(sample, priority, budget)
+        assert np.array_equal(a, b)
+        assert fault_degrees(a).max() <= budget
+        assert a.sum() > 0
+        assert not a[~sample].any()  # cap only removes, never adds
+
+    def test_byzantine_nodes_corrupt_exactly_incident_edges(self):
+        n, frac = 16, 0.25
+        adversary = ByzantineNodeAdversary(frac, seed=5)
+        adversary.begin_protocol(n)
+        f = int(np.floor(frac * n))
+        mask = adversary.select_edges(_view(n, 0))
+        assert np.array_equal(mask, adversary.select_edges(_view(n, 1)))
+        degrees = fault_degrees(mask)
+        # f nodes of degree n-1, everyone else degree f
+        assert (degrees == n - 1).sum() == f
+        assert (degrees[degrees != n - 1] == f).all()
+        # validation_alpha hook: the engine must validate at degree 1.0
+        assert adversary.validation_alpha == 1.0
+        assert adversary.alpha == frac  # code sizing sees the node fraction
+
+
+class TestSerialBatchedParity:
+    @pytest.mark.parametrize("mode", ["corrupt", "erase"])
+    def test_iid_masks_match(self, mode):
+        n, alpha, seeds = 14, 0.2, [11, 22, 33]
+        batched = BatchedIIDEdgeChannel(alpha, seeds, mode=mode)
+        batched.begin_protocol(n, len(seeds))
+        serials = [IIDEdgeChannel(alpha, mode=mode, seed=s) for s in seeds]
+        for s in serials:
+            s.begin_protocol(n)
+        for r in range(8):
+            intended = np.full((len(seeds), n, n), 5, dtype=np.int64)
+            from repro.adversary.batched import BatchRoundView
+            bview = BatchRoundView(index=r, width=8, intended=intended)
+            bmask = batched.select_edges_many(bview)
+            bdelivered = batched.corrupt_many(bview, bmask)
+            for t, s in enumerate(serials):
+                view = RoundView(index=r, width=8, intended=intended[t],
+                                 history=[])
+                smask = s.select_edges(view)
+                sdelivered = s.corrupt(view, smask)
+                assert np.array_equal(bmask[t], smask)
+                assert np.array_equal(bdelivered[t], sdelivered)
+
+    def test_gilbert_elliott_masks_match(self):
+        n, alpha, seeds = 12, 0.15, [4, 9]
+        batched = BatchedGilbertElliottChannel(alpha, seeds)
+        batched.begin_protocol(n, len(seeds))
+        serials = [GilbertElliottChannel(alpha, seed=s) for s in seeds]
+        for s in serials:
+            s.begin_protocol(n)
+        for r in range(10):
+            intended = np.full((len(seeds), n, n), 3, dtype=np.int64)
+            from repro.adversary.batched import BatchRoundView
+            bview = BatchRoundView(index=r, width=4, intended=intended)
+            bmask = batched.select_edges_many(bview)
+            batched.corrupt_many(bview, bmask)
+            for t, s in enumerate(serials):
+                view = RoundView(index=r, width=4, intended=intended[t],
+                                 history=[])
+                assert np.array_equal(bmask[t], s.select_edges(view))
+
+    def test_byzantine_masks_match(self):
+        n, frac, seeds = 16, 0.2, [1, 2, 3, 4]
+        batched = BatchedByzantineNodeAdversary(frac, seeds)
+        batched.begin_protocol(n, len(seeds))
+        for t, seed in enumerate(seeds):
+            serial = ByzantineNodeAdversary(frac, seed=seed)
+            serial.begin_protocol(n)
+            smask = serial.select_edges(_view(n, 0))
+            bmask = batched.select_edges_many(
+                __import__("repro.adversary.batched",
+                           fromlist=["BatchRoundView"]).BatchRoundView(
+                    index=0, width=8,
+                    intended=np.full((len(seeds), n, n), 1,
+                                     dtype=np.int64)))[t]
+            assert np.array_equal(smask, bmask)
+
+    def test_gilbert_elliott_stationary_rate(self):
+        """The bursty channel's long-run fault fraction matches alpha (it is
+        calibrated so IID and GE columns are comparable at equal alpha)."""
+        n, alpha = 24, 0.2
+        channel = GilbertElliottChannel(alpha, seed=13)
+        # measure the pre-cap bad fraction over many rounds via the state
+        channel.begin_protocol(n)
+        off_diag = ~np.eye(n, dtype=bool)
+        fractions = []
+        for r in range(400):
+            view = _view(n, r)
+            channel.select_edges(view)
+            fractions.append(channel._bad[off_diag].mean())
+        assert abs(np.mean(fractions) - alpha) < 0.02
+
+
+class TestTransportErasures:
+    def test_drop_positions_reach_transport(self):
+        """An erase-mode channel's selected edges arrive as -1 (dropped)
+        entries — the erasure positions the decoder is later told about."""
+        from repro.cliquesim.network import CongestedClique
+        channel = IIDEdgeChannel(0.25, mode="erase", seed=3)
+        net = CongestedClique(n=12, bandwidth=8, adversary=channel)
+        shadow = IIDEdgeChannel(0.25, mode="erase", seed=3)
+        shadow.begin_protocol(12)
+        intended = np.full((12, 12), 7, dtype=np.int64)
+        np.fill_diagonal(intended, -1)
+        got = net.round(intended.copy(), width=4)
+        expected_mask = shadow.select_edges(
+            RoundView(index=0, width=4, intended=intended, history=[]))
+        dropped = (got < 0) & (intended >= 0)
+        assert np.array_equal(dropped, expected_mask & (intended >= 0))
+
+    def test_erasure_aware_routing_counts_erasures(self):
+        """A coded run under an erase channel reports erased entries through
+        the decoder (RoutingResult.erased_entries > 0) and still delivers."""
+        from repro.core.alltoall import make_protocol, run_protocol
+        from repro.core.messages import AllToAllInstance
+        channel = IIDEdgeChannel(1 / 32, mode="erase", seed=5)
+        protocol = make_protocol("nonadaptive")
+        instance = AllToAllInstance.random(64, width=8, seed=1)
+        report = run_protocol(protocol, instance, channel,
+                              bandwidth=32, seed=2)
+        assert report.accuracy == 1.0
+
+
+class TestCampaignParity:
+    @pytest.mark.parametrize("adversary", ["iid-corrupt", "iid-erase",
+                                           "gilbert-elliott",
+                                           "byzantine-nodes"])
+    def test_channel_campaigns_serial_vs_vmap(self, adversary):
+        alpha = 0.08 if adversary != "byzantine-nodes" else 0.13
+        spec = free_grid(name=f"parity-{adversary}",
+                         protocols=("nonadaptive",),
+                         adversaries=(adversary,), ns=(16,),
+                         alphas=(alpha,), widths=(8,), replicates=4)
+
+        def digest(result):
+            rows = []
+            for row in sorted(result.rows(), key=lambda r: r["hash"]):
+                row = {k: v for k, v in row.items()
+                       if k not in ("wall_seconds", "recorded_unix")}
+                rows.append(row)
+            return json.dumps(rows, sort_keys=True)
+
+        serial = run_campaign(spec, TrialStore(), backend="serial")
+        vmap = run_campaign(spec, TrialStore(), backend="vmap")
+        assert digest(serial) == digest(vmap)
+        assert serial.errors == 0

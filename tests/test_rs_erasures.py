@@ -1,0 +1,242 @@
+"""Errors-and-erasures Reed–Solomon decoding.
+
+The transport marks dropped entries, so the decoder knows *where* some
+symbols are missing: each erasure costs one unit of distance budget
+instead of two (``2e + f <= d - 1``), doubling the radius for pure drops
+— ``f <= d - 1`` erasures decode where only ``floor((d-1)/2)`` unknown
+errors would.  Tested here: the scalar pipeline, the batched kernel, the
+parity between them, the binary/concatenated adapters, and that the
+f = 0 path stays bit-identical to the legacy decoder.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fields.gf2m import GF2m
+from repro.coding.justesen import make_justesen_code
+from repro.coding.reed_solomon import (DecodingFailure, ReedSolomonBinaryCode,
+                                       ReedSolomonCodec)
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return ReedSolomonCodec(GF2m(8), n=60, k=40)
+
+
+def _erase(rng, word, f, n):
+    mask = np.zeros(n, dtype=bool)
+    positions = rng.choice(n, f, replace=False)
+    mask[positions] = True
+    noisy = word.copy()
+    noisy[positions] = rng.integers(0, 256, f)
+    return noisy, mask
+
+
+class TestScalarErasures:
+    def test_pure_erasures_up_to_d_minus_1(self, codec):
+        """f <= d - 1 pure erasures decode — double the plain-error radius."""
+        rng = make_rng(1)
+        d = codec.n - codec.k + 1
+        word = codec.encode_many(rng.integers(0, 256,
+                                              size=(1, codec.k)))[0]
+        for f in (1, codec.t, codec.t + 1, d - 1):
+            noisy, mask = _erase(rng, word, f, codec.n)
+            assert np.array_equal(codec.correct(noisy, erasures=mask), word)
+
+    def test_mixed_errors_and_erasures_radius(self, codec):
+        """Any (e, f) with 2e + f <= d - 1 decodes."""
+        rng = make_rng(2)
+        d = codec.n - codec.k + 1
+        word = codec.encode_many(rng.integers(0, 256,
+                                              size=(1, codec.k)))[0]
+        for f in (0, 3, 8, d - 3):
+            e = (d - 1 - f) // 2
+            positions = rng.choice(codec.n, f + e, replace=False)
+            noisy = word.copy()
+            mask = np.zeros(codec.n, dtype=bool)
+            mask[positions[:f]] = True
+            noisy[positions[:f]] = rng.integers(0, 256, f)
+            noisy[positions[f:]] ^= rng.integers(1, 256, e)
+            assert np.array_equal(codec.correct(noisy, erasures=mask), word)
+
+    def test_too_many_erasures_fails(self, codec):
+        rng = make_rng(3)
+        d = codec.n - codec.k + 1
+        word = codec.encode_many(rng.integers(0, 256,
+                                              size=(1, codec.k)))[0]
+        noisy, mask = _erase(rng, word, d, codec.n)  # f = d > d - 1
+        with pytest.raises(DecodingFailure):
+            codec.correct(noisy, erasures=mask)
+
+    def test_beyond_combined_radius_fails(self, codec):
+        """f erasures plus e errors with 2e + f > d - 1 must not silently
+        mis-decode: either a failure or (coincidentally) the right word."""
+        rng = make_rng(4)
+        d = codec.n - codec.k + 1
+        word = codec.encode_many(rng.integers(0, 256,
+                                              size=(1, codec.k)))[0]
+        f = d - 2
+        e = 3  # 2*3 + (d-2) = d + 4 > d - 1
+        positions = rng.choice(codec.n, f + e, replace=False)
+        noisy = word.copy()
+        mask = np.zeros(codec.n, dtype=bool)
+        mask[positions[:f]] = True
+        noisy[positions[:f]] = rng.integers(0, 256, f)
+        noisy[positions[f:]] ^= rng.integers(1, 256, e)
+        try:
+            got = codec.correct(noisy, erasures=mask)
+        except DecodingFailure:
+            return
+        # the re-syndrome check only guarantees *a* codeword; reaching a
+        # different one than ``word`` is legitimate beyond the radius
+        assert not np.any(codec.syndromes_many(got[None, :]))
+
+    def test_empty_mask_is_legacy_path(self, codec):
+        rng = make_rng(5)
+        word = codec.encode_many(rng.integers(0, 256,
+                                              size=(1, codec.k)))[0]
+        noisy = word.copy()
+        positions = rng.choice(codec.n, codec.t, replace=False)
+        noisy[positions] ^= rng.integers(1, 256, codec.t)
+        mask = np.zeros(codec.n, dtype=bool)
+        assert np.array_equal(codec.correct(noisy, erasures=mask),
+                              codec.correct(noisy))
+
+
+class TestBatchedErasures:
+    def test_batched_matches_scalar(self, codec):
+        """The batched kernel and the (independently implemented) scalar
+        pipeline agree on corrected words and failure flags."""
+        from repro.perf.reference import rs_correct_many_erasures_scalar
+        rng = make_rng(6)
+        d = codec.n - codec.k + 1
+        count = 64
+        words = codec.encode_many(rng.integers(0, 256,
+                                               size=(count, codec.k)))
+        noisy = words.copy()
+        masks = np.zeros((count, codec.n), dtype=bool)
+        for i in range(count):
+            if i % 5 == 4:
+                f, e = int(rng.integers(d, codec.n)), 0  # beyond radius
+            else:
+                f = int(rng.integers(0, d))
+                e = int(rng.integers(0, (d - 1 - f) // 2 + 1))
+            positions = rng.choice(codec.n, f + e, replace=False)
+            masks[i, positions[:f]] = True
+            noisy[i, positions[:f]] = rng.integers(0, 256, f)
+            if e:
+                noisy[i, positions[f:]] ^= rng.integers(1, 256, e)
+        ref = rs_correct_many_erasures_scalar(codec, noisy, masks)
+        got = codec.correct_many(noisy, erasures=masks)
+        assert np.array_equal(ref[0], got[0])
+        assert np.array_equal(ref[1], got[1])
+        assert got[1].any() and not got[1].all()
+
+    def test_zero_mask_rows_match_legacy_kernel(self, codec):
+        """A batch whose masks are all empty must be bit-identical to the
+        erasure-free kernel — the vmap backend routes mixed batches through
+        the erasure path whenever any one trial dropped anything."""
+        rng = make_rng(7)
+        count = 32
+        words = codec.encode_many(rng.integers(0, 256,
+                                               size=(count, codec.k)))
+        noisy = words.copy()
+        for i in range(count):
+            e = int(rng.integers(0, 2 * codec.t))
+            if e:
+                positions = rng.choice(codec.n, e, replace=False)
+                noisy[i, positions] ^= rng.integers(1, 256, e)
+        legacy = codec.correct_many(noisy)
+        masks = np.zeros((count, codec.n), dtype=bool)
+        gated = codec.correct_many(noisy, erasures=masks)
+        assert np.array_equal(legacy[0], gated[0])
+        assert np.array_equal(legacy[1], gated[1])
+
+    def test_decode_many_flagged_passthrough(self, codec):
+        rng = make_rng(8)
+        words = codec.encode_many(rng.integers(0, 256, size=(8, codec.k)))
+        noisy = words.copy()
+        masks = np.zeros((8, codec.n), dtype=bool)
+        masks[:, :codec.n - codec.k] = True  # f = d - 1 pure erasures
+        noisy[masks] = 0
+        decoded, failed = codec.decode_many_flagged(noisy, erasures=masks)
+        assert not failed.any()
+        assert np.array_equal(codec.encode_many(decoded), words)
+
+
+class TestBinaryAndConcatenated:
+    def test_binary_adapter_maps_bit_masks(self):
+        code = ReedSolomonBinaryCode(ReedSolomonCodec(GF2m(4), n=12, k=6))
+        assert code.supports_erasures
+        rng = make_rng(9)
+        msgs = rng.integers(0, 2, size=(16, code.k), dtype=np.uint8)
+        words = code.encode_many(msgs)
+        noisy = words.copy()
+        m = code.codec.field.m
+        masks = np.zeros_like(words, dtype=bool)
+        d = code.codec.n - code.codec.k + 1
+        for i in range(16):
+            symbols = rng.choice(code.codec.n, d - 1, replace=False)
+            for s in symbols:  # erase whole symbols' bit spans
+                masks[i, s * m:(s + 1) * m] = True
+                noisy[i, s * m:(s + 1) * m] = rng.integers(0, 2, m)
+        decoded, failed = code.decode_many_flagged(noisy, erasures=masks)
+        assert not failed.any()
+        assert np.array_equal(decoded, msgs)
+
+    def test_concatenated_recovers_whole_block_drops(self):
+        """d_out - 1 fully-dropped inner blocks recover — the outer erasure
+        radius — where blind decoding would cap at floor((d_out-1)/2)."""
+        padded = make_justesen_code(250)
+        assert padded.supports_erasures
+        concat = padded.base
+        inner_n = concat.inner.n
+        outer_d = concat.outer.n - concat.outer.k + 1
+        rng = make_rng(10)
+        msgs = rng.integers(0, 2, size=(4, padded.k), dtype=np.uint8)
+        words = padded.encode_many(msgs)
+        noisy = words.copy()
+        masks = np.zeros_like(words, dtype=bool)
+        for i in range(4):
+            blocks = rng.choice(concat.outer.n, outer_d - 1, replace=False)
+            for b in blocks:
+                masks[i, b * inner_n:(b + 1) * inner_n] = True
+                noisy[i, b * inner_n:(b + 1) * inner_n] = \
+                    rng.integers(0, 2, inner_n)
+        decoded, failed = padded.decode_many_flagged(noisy, erasures=masks)
+        assert not failed.any()
+        assert np.array_equal(decoded, msgs)
+
+    def test_erasures_unsupported_base_ignores_mask(self):
+        """PaddedCode over an erasure-unaware base must not forward the
+        kwarg (and must report supports_erasures accordingly)."""
+        from repro.coding.justesen import PaddedCode
+        from repro.coding.linear import extended_hamming_8_4
+
+        class Unaware:
+            # erasure-oblivious duck-typed code: no ``erasures`` kwarg at all
+            def __init__(self):
+                self._base = extended_hamming_8_4()
+                self.n, self.k = self._base.n, self._base.k
+
+            @property
+            def relative_distance(self):
+                return self._base.relative_distance
+
+            def encode_many(self, messages):
+                return self._base.encode_many(messages)
+
+            def decode_many_flagged(self, received):
+                return self._base.decode_many_flagged(received)
+
+        padded = PaddedCode(Unaware(), 12)
+        assert not padded.supports_erasures
+        rng = make_rng(11)
+        msgs = rng.integers(0, 2, size=(4, padded.k), dtype=np.uint8)
+        words = padded.encode_many(msgs)
+        masks = np.zeros_like(words, dtype=bool)
+        masks[:, -1] = True  # would TypeError if forwarded to the base
+        decoded, failed = padded.decode_many_flagged(words, erasures=masks)
+        assert not failed.any()
+        assert np.array_equal(decoded, msgs)
