@@ -7,10 +7,15 @@ Usage (after ``pip install -e .``):
     python -m repro table1 --n 64
     python -m repro consensus --n 64 --alpha 0.03125
     python -m repro experiment run --campaign table1 --jobs 4
+    python -m repro experiment run --campaign table1 --backend sharded --workers 4
+    python -m repro experiment run --campaign table1 --budget-seconds 600
     python -m repro experiment resume --campaign table1
     python -m repro experiment report --store runs/table1.jsonl
     python -m repro experiment watch --store runs/table1.jsonl
     python -m repro experiment list
+    python -m repro sched work --shards runs/table1.jsonl.shards
+    python -m repro sched status --shards runs/table1.jsonl.shards
+    python -m repro store merge --into runs/table1.jsonl
     python -m repro bench --smoke --check
     python -m repro bench --store runs/bench.jsonl
     python -m repro bench trend --store runs/bench.jsonl
@@ -202,6 +207,10 @@ def _run_experiment(args, resume: bool) -> int:
     result = run_campaign(spec, store=store_path, jobs=args.jobs,
                           resume=resume, backend=args.backend,
                           policy=policy,
+                          budget_seconds=args.budget_seconds,
+                          workers=args.workers, shards=args.shards,
+                          lease_ttl=args.lease_ttl,
+                          inner_backend=args.inner_backend,
                           progress=progress if not args.quiet else None)
     print(result)
     print()
@@ -337,6 +346,54 @@ def cmd_bench(args) -> int:
     return status
 
 
+def cmd_sched_work(args) -> int:
+    from repro.sched import work
+    policy = None
+    if args.timeout is not None or args.retries:
+        from repro.faults import ResiliencePolicy
+        policy = ResiliencePolicy(timeout_seconds=args.timeout,
+                                  retries=args.retries)
+
+    def progress(shard_id, row):
+        print(f"  [{shard_id}] {row['hash']} -> {row['status']}", flush=True)
+
+    stats = work(args.shards, owner=args.owner,
+                 inner_backend=args.inner_backend, policy=policy,
+                 lease_ttl=args.ttl,
+                 progress=None if args.quiet else progress)
+    print(stats)
+    return 0
+
+
+def cmd_sched_status(args) -> int:
+    from repro.sched import ShardLayout
+    layout = ShardLayout.load(args.shards)
+    states = layout.states()
+    done = sum(1 for s in states if s["state"] == "done")
+    print(f"campaign {layout.campaign!r}: {len(states)} shard(s), "
+          f"{done} done")
+    for state in states:
+        extra = ""
+        if state["state"] == "leased":
+            extra = (f"  owner={state['owner']} pid={state['pid']}"
+                     f"{' (EXPIRED)' if state['expired'] else ''}")
+        print(f"  shard-{state['id']}  {state['trials']:>4} trials  "
+              f"{state['state']:<7}{extra}")
+    return 0 if done == len(states) else 1
+
+
+def cmd_store_merge(args) -> int:
+    from repro.sched import discover_shard_sources, merge_stores
+    sources = args.sources or discover_shard_sources(args.into)
+    if not sources:
+        print(f"no sources given and no shard stores found next to "
+              f"{args.into}")
+        return 1
+    report = merge_stores(args.into, sources, compact=not args.no_compact)
+    print(report)
+    return 0
+
+
 def cmd_experiment_list(args) -> int:
     from repro.experiments import ADVERSARIES, build_campaign, campaign_names
     print("registered campaigns:")
@@ -411,11 +468,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL artifact store (default runs/<name>.jsonl)")
         p.add_argument("--jobs", type=int, default=1,
                        help="worker processes (1 = inline)")
-        p.add_argument("--backend", choices=("serial", "process", "vmap"),
+        p.add_argument("--backend",
+                       choices=("serial", "process", "vmap", "sharded"),
                        default=None,
                        help="execution backend (default: process when "
                             "--jobs > 1, else serial; vmap batches each "
-                            "campaign cell into one tensor program)")
+                            "campaign cell into one tensor program; sharded "
+                            "partitions trials into leased shards drained "
+                            "by worker subprocesses — extra hosts can join "
+                            "via 'repro sched work')")
         p.add_argument("--replicates", type=int, default=None)
         p.add_argument("--seed", dest="seed_override", type=int, default=None)
         p.add_argument("--accuracy-bar", type=float, default=None)
@@ -426,6 +487,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-run crashed/timed-out trials up to this "
                             "many times (retries reuse the trial's derived "
                             "seeds, so recovered rows are bit-identical)")
+        p.add_argument("--budget-seconds", type=float, default=None,
+                       metavar="SEC",
+                       help="wall-clock budget for the whole invocation; "
+                            "trials not reached at the deadline are "
+                            "recorded as explicit 'skipped' rows (a later "
+                            "resume re-runs them)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="sharded backend: local worker subprocesses "
+                            "(default max(2, --jobs))")
+        p.add_argument("--shards", type=int, default=None,
+                       help="sharded backend: shard count (default "
+                            "4 per worker)")
+        p.add_argument("--lease-ttl", type=float, default=None, metavar="SEC",
+                       help="sharded backend: lease heartbeat ttl; a worker "
+                            "silent past it is presumed dead and its shard "
+                            "is reclaimed")
+        p.add_argument("--inner-backend", choices=("serial", "vmap"),
+                       default="serial",
+                       help="sharded backend: engine each worker runs its "
+                            "shard with")
         p.add_argument("--quiet", action="store_true",
                        help="suppress per-trial progress lines")
         p.add_argument("--dump-spec", action="store_true",
@@ -458,6 +539,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     elist = esub.add_parser("list", help="list campaigns and adversaries")
     elist.set_defaults(func=cmd_experiment_list)
+
+    sched = sub.add_parser(
+        "sched", help="sharded campaign scheduler (work | status)")
+    ssub = sched.add_subparsers(dest="sched_command", required=True)
+
+    swork = ssub.add_parser(
+        "work", help="run the worker loop on a shard directory (any host "
+        "that can see the directory can join the fleet)")
+    swork.add_argument("--shards", required=True, metavar="DIR",
+                       help="shard directory (<store>.shards, created by "
+                            "the sharded backend)")
+    swork.add_argument("--owner", default=None,
+                       help="lease owner id (default <pid>@<host>)")
+    swork.add_argument("--inner-backend", choices=("serial", "vmap"),
+                       default="serial")
+    swork.add_argument("--ttl", type=float, default=30.0, metavar="SEC",
+                       help="lease heartbeat ttl")
+    swork.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-trial wall-clock budget")
+    swork.add_argument("--retries", type=int, default=0)
+    swork.add_argument("--quiet", action="store_true")
+    swork.set_defaults(func=cmd_sched_work)
+
+    sstatus = ssub.add_parser(
+        "status", help="one-shot shard/lease state of a shard directory "
+        "(exit 0 when all shards are done)")
+    sstatus.add_argument("--shards", required=True, metavar="DIR")
+    sstatus.set_defaults(func=cmd_sched_status)
+
+    store_cmd = sub.add_parser(
+        "store", help="artifact-store maintenance (merge)")
+    stsub = store_cmd.add_subparsers(dest="store_command", required=True)
+
+    smerge = stsub.add_parser(
+        "merge", help="merge/compact stores with duplicate-hash precedence "
+        "(ok/unsupported > error > skipped; freshest among equals)")
+    smerge.add_argument("--into", required=True, metavar="STORE",
+                        help="target store file")
+    smerge.add_argument("sources", nargs="*",
+                        help="source stores (default: the target's own "
+                             "shard stores in <store>.shards/)")
+    smerge.add_argument("--no-compact", action="store_true",
+                        help="append missing/upgraded rows instead of "
+                             "rewriting the target as one row per hash")
+    smerge.set_defaults(func=cmd_store_merge)
 
     trace = sub.add_parser(
         "trace", help="structured protocol traces (record | show)")

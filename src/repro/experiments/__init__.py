@@ -56,8 +56,10 @@ schema — see :mod:`repro.obs.tracing` (``meta``/``round``/``transport``/
 from repro.experiments.aggregate import (
     CellStats,
     Stat,
+    StreamAggregator,
     ThresholdEstimate,
     aggregate,
+    aggregate_store,
     estimate_thresholds,
 )
 from repro.experiments.registry import (
@@ -76,6 +78,7 @@ from repro.experiments.runner import (
     BACKENDS,
     STATUS_ERROR,
     STATUS_OK,
+    STATUS_SKIPPED,
     STATUS_UNSUPPORTED,
     CampaignResult,
     execute_trial,
@@ -94,7 +97,7 @@ from repro.experiments.spec import (
     TrialSpec,
     free_grid,
 )
-from repro.experiments.store import TrialStore
+from repro.experiments.store import TrialStore, iter_store_rows
 
 __all__ = [
     "ADVERSARIES",
@@ -105,19 +108,23 @@ __all__ = [
     "GridSpec",
     "STATUS_ERROR",
     "STATUS_OK",
+    "STATUS_SKIPPED",
     "STATUS_UNSUPPORTED",
     "Stat",
+    "StreamAggregator",
     "TABLE1_ALPHAS",
     "ThresholdEstimate",
     "TrialSpec",
     "TrialStore",
     "aggregate",
+    "aggregate_store",
     "build_campaign",
     "campaign_names",
     "estimate_thresholds",
     "execute_trial",
     "free_grid",
     "group_cells",
+    "iter_store_rows",
     "make_adversary",
     "make_batched_adversary",
     "run_cell_batched",

@@ -1,4 +1,4 @@
-"""Replicate aggregation and threshold estimation.
+"""Streaming replicate aggregation and threshold estimation.
 
 ``aggregate`` folds raw trial rows into per-cell statistics (a *cell* is a
 trial coordinate minus the replicate axis): mean/std/95%-CI for accuracy,
@@ -7,6 +7,14 @@ per (protocol, adversary, n) series, the resilience threshold — the
 largest alpha whose cell meets the accuracy bar — from the *full* recorded
 grid, which is what lets the sweep layer report non-monotone regimes
 instead of stopping at the first dip.
+
+Aggregation is *streaming*: each cell is reduced incrementally with
+Welford's online moment algorithm, so memory is O(cells), never O(rows) —
+an n=1024-scale store (or an unbounded multi-campaign one) aggregates in
+constant space per cell.  :class:`StreamAggregator` exposes the
+incremental form directly (feed rows as they land — the watch view and
+the shard merge path use it); :func:`aggregate` and
+:func:`aggregate_store` are one-shot wrappers over it.
 """
 
 from __future__ import annotations
@@ -16,21 +24,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.experiments.runner import (STATUS_ERROR, STATUS_OK,
-                                      STATUS_UNSUPPORTED)
+                                      STATUS_SKIPPED, STATUS_UNSUPPORTED)
 
 #: z-score for a 95% normal confidence interval
 _Z95 = 1.96
-
-
-def _mean(values: List[float]) -> float:
-    return sum(values) / len(values) if values else 0.0
-
-
-def _std(values: List[float]) -> float:
-    if len(values) < 2:
-        return 0.0
-    mu = _mean(values)
-    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
 
 
 @dataclass
@@ -43,9 +40,40 @@ class Stat:
 
     @classmethod
     def of(cls, values: List[float]) -> "Stat":
-        std = _std(values)
-        ci = _Z95 * std / math.sqrt(len(values)) if values else 0.0
-        return cls(mean=_mean(values), std=std, ci95=ci)
+        w = _Welford()
+        for v in values:
+            w.add(v)
+        return w.stat()
+
+    @classmethod
+    def from_moments(cls, count: int, mean: float, m2: float) -> "Stat":
+        """Build from Welford moments (count, running mean, sum of squared
+        deviations) — the streaming path's constructor."""
+        if count < 1:
+            return cls()
+        std = math.sqrt(m2 / (count - 1)) if count > 1 else 0.0
+        return cls(mean=mean, std=std, ci95=_Z95 * std / math.sqrt(count))
+
+
+class _Welford:
+    """Online mean/variance accumulator (Welford's algorithm): numerically
+    stable single-pass moments in O(1) space per metric."""
+
+    __slots__ = ("count", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    def stat(self) -> Stat:
+        return Stat.from_moments(self.count, self.mean, self.m2)
 
 
 @dataclass
@@ -62,6 +90,7 @@ class CellStats:
     ok: int = 0
     unsupported: int = 0
     errors: int = 0
+    skipped: int = 0
     accuracy: Stat = field(default_factory=Stat)
     rounds: Stat = field(default_factory=Stat)
     bits: Stat = field(default_factory=Stat)
@@ -87,7 +116,8 @@ class CellStats:
             "n": self.n, "alpha": self.alpha, "width": self.width,
             "bandwidth": self.bandwidth, "trials": self.trials,
             "ok": self.ok, "unsupported": self.unsupported,
-            "errors": self.errors, "perfect_rate": self.perfect_rate,
+            "errors": self.errors, "skipped": self.skipped,
+            "perfect_rate": self.perfect_rate,
             "accuracy_mean": self.accuracy.mean,
             "accuracy_std": self.accuracy.std,
             "accuracy_ci95": self.accuracy.ci95,
@@ -96,49 +126,103 @@ class CellStats:
         }
 
 
+class CellReducer:
+    """Incremental reducer for one grid cell: status counters plus Welford
+    moments for accuracy/rounds/bits.  Never stores a row."""
+
+    __slots__ = ("ok", "unsupported", "errors", "skipped", "perfect",
+                 "accuracy", "rounds", "bits")
+
+    def __init__(self) -> None:
+        self.ok = 0
+        self.unsupported = 0
+        self.errors = 0
+        self.skipped = 0
+        self.perfect = 0
+        self.accuracy = _Welford()
+        self.rounds = _Welford()
+        self.bits = _Welford()
+
+    def add(self, row: Dict) -> None:
+        status = row.get("status")
+        if status == STATUS_OK:
+            self.ok += 1
+            self.accuracy.add(row["accuracy"])
+            self.rounds.add(float(row["rounds"]))
+            self.bits.add(float(row["bits_sent"]))
+            if row["correct_entries"] == row["total_entries"]:
+                self.perfect += 1
+        elif status == STATUS_UNSUPPORTED:
+            self.unsupported += 1
+        elif status == STATUS_ERROR:
+            self.errors += 1
+        elif status == STATUS_SKIPPED:
+            self.skipped += 1
+
+    def finish(self, key: Tuple) -> CellStats:
+        stats = CellStats(
+            protocol=key[0], adversary=key[1], n=key[2], alpha=key[3],
+            width=key[4], bandwidth=key[5],
+            trials=self.ok + self.unsupported + self.errors + self.skipped,
+            ok=self.ok, unsupported=self.unsupported, errors=self.errors,
+            skipped=self.skipped)
+        if self.ok:
+            stats.accuracy = self.accuracy.stat()
+            stats.rounds = self.rounds.stat()
+            stats.bits = self.bits.stat()
+            stats.perfect_rate = self.perfect / self.ok
+        return stats
+
+
+class StreamAggregator:
+    """Feed trial rows one at a time; read per-cell statistics at any
+    point.  O(cells) memory — the full grid is never materialized."""
+
+    def __init__(self) -> None:
+        self._reducers: Dict[Tuple, CellReducer] = {}
+        self.rows_seen = 0
+
+    def add(self, row: Dict) -> None:
+        trial = row.get("trial")
+        if trial is None:
+            return  # campaign metadata rows live alongside trial rows
+        key = (trial["protocol"], trial["adversary"], trial["n"],
+               trial["alpha"], trial["width"], trial["bandwidth"])
+        reducer = self._reducers.get(key)
+        if reducer is None:
+            reducer = self._reducers[key] = CellReducer()
+        reducer.add(row)
+        self.rows_seen += 1
+
+    def extend(self, rows: Iterable[Dict]) -> "StreamAggregator":
+        for row in rows:
+            self.add(row)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._reducers)
+
+    def cells(self) -> List[CellStats]:
+        """Snapshot of the per-cell statistics, sorted by cell key."""
+        return [self._reducers[key].finish(key)
+                for key in sorted(self._reducers)]
+
+
 def aggregate(rows: Iterable[Dict]) -> List[CellStats]:
     """Fold result rows into sorted per-cell statistics.
 
     Rows from different campaigns may be mixed freely; duplicate hashes
-    should be deduplicated upstream (the store already does).
+    should be deduplicated upstream (the store already does).  ``rows``
+    is consumed as a stream — a generator works and is never buffered.
     """
-    cells: Dict[Tuple, Dict[str, List]] = {}
-    for row in rows:
-        trial = row.get("trial")
-        if trial is None:
-            continue  # campaign metadata rows live alongside trial rows
-        key = (trial["protocol"], trial["adversary"], trial["n"],
-               trial["alpha"], trial["width"], trial["bandwidth"])
-        bucket = cells.setdefault(key, {
-            "ok": [], "unsupported": 0, "errors": 0})
-        if row["status"] == STATUS_OK:
-            bucket["ok"].append(row)
-        elif row["status"] == STATUS_UNSUPPORTED:
-            bucket["unsupported"] += 1
-        elif row["status"] == STATUS_ERROR:
-            bucket["errors"] += 1
+    return StreamAggregator().extend(rows).cells()
 
-    out: List[CellStats] = []
-    for key in sorted(cells):
-        bucket = cells[key]
-        ok_rows = bucket["ok"]
-        stats = CellStats(
-            protocol=key[0], adversary=key[1], n=key[2], alpha=key[3],
-            width=key[4], bandwidth=key[5],
-            trials=len(ok_rows) + bucket["unsupported"] + bucket["errors"],
-            ok=len(ok_rows),
-            unsupported=bucket["unsupported"],
-            errors=bucket["errors"],
-        )
-        if ok_rows:
-            stats.accuracy = Stat.of([r["accuracy"] for r in ok_rows])
-            stats.rounds = Stat.of([float(r["rounds"]) for r in ok_rows])
-            stats.bits = Stat.of([float(r["bits_sent"]) for r in ok_rows])
-            stats.perfect_rate = _mean(
-                [1.0 if r["correct_entries"] == r["total_entries"] else 0.0
-                 for r in ok_rows])
-        out.append(stats)
-    return out
+
+def aggregate_store(path: str) -> List[CellStats]:
+    """Aggregate a store *file* without loading it: rows stream from disk
+    straight into the per-cell reducers."""
+    from repro.experiments.store import iter_store_rows
+    return aggregate(iter_store_rows(path))
 
 
 @dataclass

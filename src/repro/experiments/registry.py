@@ -11,6 +11,9 @@ catalog mirrors the paper's tables/figures:
 * ``figure2-butterfly`` — det-logn's butterfly exchange across n;
 * ``figure3-grid``    — det-sqrt's √n-grid two-step across n;
 * ``headline-scaling`` — the title claim: fault volume absorbed across n;
+* ``headline-scaling-xl`` — the scale frontier: det-logn at n=512/1024
+                        (fault-free; memory-bound, exercises streaming
+                        aggregation and byte-budget batch chunking);
 * ``smoke``           — a seconds-fast grid for CI and multiprocess tests;
 * ``stochastic-iid``  — i.i.d. per-edge corruption/erasure channels next
                         to the worst-case nonadaptive adversary at the
@@ -126,6 +129,20 @@ def headline_scaling(bandwidth: int = 32) -> ExperimentSpec:
         name="headline-scaling",
         grids=(GridSpec(protocols=("det-logn",), adversaries=("adaptive",),
                         ns=(32, 64, 128), alphas=(1 / 32,),
+                        bandwidths=(bandwidth,)),),
+    )
+
+
+@register("headline-scaling-xl")
+def headline_scaling_xl(bandwidth: int = 32) -> ExperimentSpec:
+    """The scale frontier: det-logn at n=512 and n=1024 on the fault-free
+    clique.  At this size the campaign is memory-bound, not compute-bound
+    — the streaming aggregator and the vmap byte-budget chunker exist so
+    this grid runs in bounded space (see ``bench_headline_n1024``)."""
+    return ExperimentSpec(
+        name="headline-scaling-xl",
+        grids=(GridSpec(protocols=("det-logn",), adversaries=("null",),
+                        ns=(512, 1024), alphas=(0.0,),
                         bandwidths=(bandwidth,)),),
     )
 

@@ -30,9 +30,10 @@ def render_cells(cells: Iterable[CellStats]) -> str:
             bits = f"{c.bits.mean:,.0f}"
         else:
             acc, rounds, bits = "—", "—", "—"
-        status = "ok" if c.errors == 0 and c.unsupported == 0 else (
-            f"{c.unsupported} unsupported" if c.unsupported else
-            f"{c.errors} errors")
+        problems = [f"{count} {label}" for count, label in
+                    ((c.unsupported, "unsupported"), (c.errors, "errors"),
+                     (c.skipped, "skipped")) if count]
+        status = ", ".join(problems) if problems else "ok"
         rows.append([c.protocol, c.adversary, str(c.n), f"{c.alpha:.5f}",
                      str(c.bandwidth), str(c.trials), acc, rounds, bits,
                      status])

@@ -1,25 +1,26 @@
 """Parallel, resumable campaign execution.
 
 ``run_campaign`` expands an :class:`ExperimentSpec` into trials, skips the
-ones the store already holds, and executes the rest — inline for
-``jobs=1``, or across a :class:`~concurrent.futures.ProcessPoolExecutor`
-with chunked dispatch for ``jobs>1``.  Because every trial's seeds are
-derived from its own coordinates (see :mod:`repro.experiments.spec`), the
-result set is identical for any job count and any dispatch order.
+ones the store already holds, and hands the rest to an execution
+*backend* (:mod:`repro.sched.backend`): inline serial, chunked process
+pool, cell-batched vmap, or leased shard dispatch across workers/hosts.
+Because every trial's seeds are derived from its own coordinates (see
+:mod:`repro.experiments.spec`), the result set is identical for any
+backend, any job count and any dispatch order.
 
 Failure containment: a trial whose configuration violates the analysis'
 inequalities (:class:`~repro.core.profiles.ProfileError`) records an
 ``unsupported`` row; a trial that crashes for any other reason records an
-``error`` row carrying the traceback.  Neither kills the campaign — the
-store always reflects every attempted coordinate, and a later ``resume``
-will not re-run them.
+``error`` row carrying the traceback; a trial the time budget cut off
+records a ``skipped`` row.  None of them kills the campaign — the store
+always reflects every attempted coordinate, and a later ``resume``
+re-runs only the transient ones (errors and skips).
 """
 
 from __future__ import annotations
 
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
@@ -30,6 +31,7 @@ from repro.experiments.store import TrialStore
 STATUS_OK = "ok"
 STATUS_UNSUPPORTED = "unsupported"   # ProfileError: outside the proof regime
 STATUS_ERROR = "error"               # crash: bug or bad configuration
+STATUS_SKIPPED = "skipped"           # never ran: time budget / dead fleet
 
 
 def make_adversary(kind: str, alpha: float, seed: int):
@@ -161,6 +163,7 @@ class CampaignResult:
     cached: int = 0
     errors: int = 0
     unsupported: int = 0
+    skipped: int = 0
     trials: List[TrialSpec] = field(default_factory=list)
 
     @property
@@ -171,9 +174,11 @@ class CampaignResult:
         return self.store.rows_for(self.trials)
 
     def __str__(self) -> str:
+        skipped = f"{self.skipped} skipped, " if self.skipped else ""
         return (f"campaign {self.spec.name!r}: {self.total} trials "
                 f"({self.executed} executed, {self.cached} cached, "
-                f"{self.unsupported} unsupported, {self.errors} errors)")
+                f"{skipped}{self.unsupported} unsupported, "
+                f"{self.errors} errors)")
 
 
 def _chunked(items: List, size: int) -> List[List]:
@@ -181,8 +186,9 @@ def _chunked(items: List, size: int) -> List[List]:
 
 
 #: campaign execution backends: per-trial inline, per-trial process pool,
-#: or trial-batched tensor programs (see :mod:`repro.experiments.vmap`)
-BACKENDS = ("serial", "process", "vmap")
+#: trial-batched tensor programs (:mod:`repro.experiments.vmap`), or
+#: leased shard dispatch across workers/hosts (:mod:`repro.sched`)
+BACKENDS = ("serial", "process", "vmap", "sharded")
 
 
 def run_campaign(spec: ExperimentSpec,
@@ -192,33 +198,46 @@ def run_campaign(spec: ExperimentSpec,
                  progress: Optional[Callable[[int, int, Dict], None]] = None,
                  chunks_per_job: int = 4,
                  backend: Optional[str] = None,
-                 policy=None) -> CampaignResult:
+                 policy=None,
+                 budget_seconds: Optional[float] = None,
+                 workers: Optional[int] = None,
+                 shards: Optional[int] = None,
+                 lease_ttl: Optional[float] = None,
+                 inner_backend: str = "serial") -> CampaignResult:
     """Execute every trial of ``spec`` not already in ``store``.
 
     ``resume=False`` re-executes all trials (overwriting their store rows);
     ``resume=True`` serves completed trials from the store and only runs
-    the missing ones — plus any whose stored row is an ``error``, since a
-    crash may be transient and the row records a failure, not a result
-    (``unsupported`` rows are deterministic verdicts and stay cached).
+    the missing ones — plus any whose stored row is an ``error`` or a
+    ``skipped``, since both record that a result is still owed, not a
+    verdict (``unsupported`` rows are deterministic and stay cached).
     ``progress(done, total, row)`` is called after every trial completion;
     cached trials are reported via the returned counters instead.
 
-    ``backend`` selects how pending trials execute: ``"serial"`` (inline,
-    one at a time), ``"process"`` (chunked process-pool dispatch over
-    ``jobs`` workers), or ``"vmap"`` (cells batched into single tensor
-    programs — see :mod:`repro.experiments.vmap`; bit-identical rows,
-    cells that cannot batch fall back to serial per trial).  ``None``
-    keeps the historical behaviour: process when ``jobs > 1``, else
-    serial.
+    ``backend`` selects how pending trials execute — see
+    :mod:`repro.sched.backend` for the registry: ``"serial"`` (inline),
+    ``"process"`` (chunked pool over ``jobs`` workers), ``"vmap"`` (cells
+    as single tensor programs, bit-identical rows), or ``"sharded"``
+    (content-addressed shards + leased workers; ``workers``/``shards``/
+    ``lease_ttl``/``inner_backend`` apply, and extra hosts can join via
+    ``repro sched work``).  ``None`` keeps the historical behaviour:
+    process when ``jobs > 1``, else serial.
 
     ``policy`` is an optional :class:`repro.faults.ResiliencePolicy`
     adding per-trial wall-clock timeouts and bounded retries (every
     retry re-runs the identical trial dict, so recovered rows are
     bit-identical to undisturbed ones).  ``None`` keeps the legacy
     fast path.
+
+    ``budget_seconds`` is a per-invocation wall-clock budget: when it
+    runs out the backend stops and every unreached trial is recorded as
+    an explicit ``skipped`` row (never silently dropped), which a later
+    ``resume`` re-runs.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    if budget_seconds is not None and budget_seconds <= 0:
+        raise ValueError("budget_seconds must be positive (or None)")
     if backend is None:
         backend = "process" if jobs > 1 else "serial"
     if backend not in BACKENDS:
@@ -240,7 +259,8 @@ def run_campaign(spec: ExperimentSpec,
     if resume:
         def needs_run(trial: TrialSpec) -> bool:
             row = store.get(trial)
-            return row is None or row["status"] == STATUS_ERROR
+            return row is None or row["status"] in (STATUS_ERROR,
+                                                    STATUS_SKIPPED)
         pending = [t for t in trials if needs_run(t)]
         result.cached = len(trials) - len(pending)
     else:
@@ -253,33 +273,44 @@ def run_campaign(spec: ExperimentSpec,
         nonlocal done
         store.append(row)
         done += 1
-        result.executed += 1
-        if row["status"] == STATUS_ERROR:
-            result.errors += 1
-        elif row["status"] == STATUS_UNSUPPORTED:
-            result.unsupported += 1
+        if row["status"] == STATUS_SKIPPED:
+            result.skipped += 1
+        else:
+            result.executed += 1
+            if row["status"] == STATUS_ERROR:
+                result.errors += 1
+            elif row["status"] == STATUS_UNSUPPORTED:
+                result.unsupported += 1
         if progress is not None:
             progress(done, total, row)
 
-    if backend == "vmap":
-        from repro.experiments.vmap import group_cells, run_cell_batched
-        for cell_trials in group_cells(pending).values():
-            for row in run_cell_batched(cell_trials, policy=policy):
-                record(row)
-        return result
+    from repro.sched.backend import CampaignRun, get_backend
 
-    if backend == "serial" or jobs == 1 or len(pending) <= 1:
-        from repro.faults.resilience import execute_trial_resilient
-        for trial in pending:
-            record(execute_trial_resilient(trial.to_dict(), policy))
-        return result
+    def tracking_record(row: Dict) -> None:
+        run.recorded.add(row.get("hash"))
+        record(row)
 
-    chunk_size = max(1, -(-len(pending) // (jobs * chunks_per_job)))
-    chunks = _chunked([t.to_dict() for t in pending], chunk_size)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(_execute_chunk, chunk, policy)
-                   for chunk in chunks]
-        for future in as_completed(futures):
-            for row in future.result():
-                record(row)
+    run = CampaignRun(
+        spec=spec, store=store, pending=pending, record=tracking_record,
+        jobs=jobs, chunks_per_job=chunks_per_job, policy=policy,
+        deadline=(time.monotonic() + budget_seconds
+                  if budget_seconds is not None else None),
+        workers=workers, shards=shards, lease_ttl=lease_ttl,
+        inner_backend=inner_backend)
+    get_backend(backend).execute(run)
+
+    # a backend that stopped early (deadline, dead worker fleet) leaves
+    # trials without rows; record them as explicit skips so the report
+    # and the store reflect every coordinate, and resume re-runs them
+    leftover = run.remaining()
+    if leftover:
+        reason = (f"time budget ({budget_seconds}s) exhausted"
+                  if budget_seconds is not None and run.out_of_time()
+                  else f"backend {backend!r} stopped before reaching "
+                       f"this trial")
+        stamp = round(time.time(), 6)
+        for trial in leftover:
+            record({"hash": trial.content_hash(), "trial": trial.to_dict(),
+                    "status": STATUS_SKIPPED, "reason": reason,
+                    "wall_seconds": 0.0, "recorded_unix": stamp})
     return result

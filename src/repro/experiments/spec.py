@@ -65,6 +65,14 @@ class TrialSpec:
         """Content address of this trial — the artifact-store key."""
         return hashlib.sha256(self.key().encode()).hexdigest()[:24]
 
+    def shard_of(self, num_shards: int) -> int:
+        """Deterministic shard bucket for sharded dispatch: derived from
+        the content hash, so every worker/host computes the identical
+        partition without coordination (see :mod:`repro.sched.shards`)."""
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        return int(self.content_hash(), 16) % num_shards
+
     # -- derived seeds -------------------------------------------------------
     def derived_seed(self, role: str) -> int:
         from repro.utils.rng import derive_seed

@@ -27,9 +27,35 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.experiments.spec import TrialSpec
+
+
+def iter_store_rows(path: Optional[str]) -> Iterator[Dict]:
+    """Stream a store file's rows one line at a time.
+
+    The streaming read behind the aggregation and merge paths: nothing
+    but the current line is held in memory, so an n=1024-scale store can
+    be reduced without materializing its grid.  Tolerant by the same
+    rules as :class:`TrialStore`'s loader — corrupt/torn lines are
+    skipped (quarantining is left to the owning writer's next load) —
+    and a missing file is simply an empty stream.
+    """
+    if path is None or not os.path.exists(path):
+        return
+    with open(path, "rb") as fh:
+        for raw in fh:
+            if not raw.endswith(b"\n"):
+                break  # unterminated tail: not a row yet
+            if not raw.strip():
+                continue
+            try:
+                row = json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if isinstance(row, dict):
+                yield row
 
 
 class TrialStore:

@@ -42,6 +42,7 @@ rounds through the batched engine).
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
 from typing import Dict, List, Sequence
@@ -51,6 +52,46 @@ from repro.experiments.spec import TrialSpec
 #: upper bound on trials batched into one tensor program; larger cells are
 #: chunked so payload stacks stay a bounded multiple of one trial's memory
 MAX_BATCH_TRIALS = 64
+
+#: default ceiling on a batch's payload-plane memory; overridable via the
+#: REPRO_BATCH_BYTE_BUDGET environment variable (bytes).  256 MiB keeps an
+#: n=1024 cell to a handful of trials per chunk instead of the count cap.
+DEFAULT_BATCH_BYTE_BUDGET = 256 * 1024 * 1024
+
+#: live plane copies the batched engine holds at an exchange peak
+#: (intended stack, delivered stack, corruption workspace, present masks —
+#: a deliberately conservative multiplier, sized against measured RSS)
+_PLANE_COPIES = 4
+
+
+def batch_byte_budget() -> int:
+    """The in-effect batch memory budget (env override or default)."""
+    raw = os.environ.get("REPRO_BATCH_BYTE_BUDGET")
+    if raw:
+        try:
+            value = int(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return DEFAULT_BATCH_BYTE_BUDGET
+
+
+def trial_plane_bytes(trial: TrialSpec) -> int:
+    """Estimated peak bytes one trial contributes to a batched exchange:
+    its ``(n, n, words)`` uint64 payload plane times the engine's live
+    copies.  The chunker divides the byte budget by this."""
+    from repro.utils.bits import words_per_width
+    return trial.n * trial.n * words_per_width(trial.width) * 8 * _PLANE_COPIES
+
+
+def max_batch_trials(trial: TrialSpec) -> int:
+    """Largest batch of ``trial``-shaped trials that fits both the count
+    cap and the byte budget.  0 means even a pair blows the budget —
+    the caller must fall back to serial per-trial execution."""
+    limit = min(MAX_BATCH_TRIALS,
+                batch_byte_budget() // max(1, trial_plane_bytes(trial)))
+    return 0 if limit < 2 else int(limit)
 
 
 def make_batched_adversary(kind: str, alpha: float, seeds: Sequence[int]):
@@ -143,11 +184,17 @@ def run_cell_batched(trials: Sequence[TrialSpec],
             for t, row in zip(hit, _rows_serial(hit, policy)):
                 by_hash[row["hash"]] = row
             return [by_hash[t.content_hash()] for t in trials]
-    if len(trials) > MAX_BATCH_TRIALS:
+    limit = max_batch_trials(head)
+    if limit == 0:
+        # one trial's planes already saturate the byte budget: batching a
+        # pair would double peak memory, so run the cell serially (same
+        # rows — serial is the parity reference)
+        return _rows_serial(trials, policy)
+    if len(trials) > limit:
         return [row
-                for start in range(0, len(trials), MAX_BATCH_TRIALS)
+                for start in range(0, len(trials), limit)
                 for row in run_cell_batched(
-                    trials[start:start + MAX_BATCH_TRIALS], policy=policy)]
+                    trials[start:start + limit], policy=policy)]
 
     start = time.perf_counter()
     budget = (policy.timeout_seconds * len(trials)

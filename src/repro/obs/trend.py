@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 _SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
 
@@ -54,6 +55,18 @@ class BenchTrend:
 
     def regressed(self, factor: float = 2.0) -> bool:
         return self.runs >= 2 and self.latest < self.best / factor
+
+    def first_dip(self, factor: float = 2.0) -> Optional[int]:
+        """Index of the earliest run that fell below best-so-far/``factor``
+        — the bisection hint: the regression entered the codebase between
+        this store row and the previous one.  None when no run dipped."""
+        best = None
+        for i, value in enumerate(self.values):
+            if best is not None and value < best / factor:
+                return i
+            if best is None or value > best:
+                best = value
+        return None
 
 
 def load_bench_rows(path: str) -> List[Dict]:
@@ -124,8 +137,30 @@ def _fmt(value: float, metric: str) -> str:
     return f"{value:,.0f}"
 
 
+def _fmt_stamp(stamp: float) -> str:
+    if not stamp:
+        return "unknown time"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(stamp))
+
+
+def _dip_hint(t: BenchTrend, factor: float) -> Optional[str]:
+    """Bisection hint for a regressed series: the first store row whose
+    value dipped below the gate, with its timestamp — the regression
+    landed between that run and the one before it."""
+    dip = t.first_dip(factor)
+    if dip is None:
+        return None
+    prior = _fmt_stamp(t.times[dip - 1]) if dip >= 1 else "the first run"
+    return (f"  ^ first dip: run {dip + 1}/{t.runs} at "
+            f"{_fmt_stamp(t.times[dip])} "
+            f"({_fmt(t.values[dip], t.metric)}, prev best "
+            f"{_fmt(max(t.values[:dip]), t.metric)}) — bisect commits "
+            f"between {prior} and that run")
+
+
 def render_trends(trends: List[BenchTrend], factor: float = 2.0) -> str:
-    """The ``repro bench trend`` table."""
+    """The ``repro bench trend`` table.  Regressed series get a bisection
+    hint line pointing at the first store row below the gate."""
     if not trends:
         return "(no bench rows)"
     header = [f"{'suite':>8} {'benchmark':<24} {'mode':<6} {'runs':>4} "
@@ -134,9 +169,11 @@ def render_trends(trends: List[BenchTrend], factor: float = 2.0) -> str:
     lines = []
     regressions = 0
     for t in trends:
+        hint = None
         if t.regressed(factor):
             flag = f"REGRESSED (< best/{factor:g})"
             regressions += 1
+            hint = _dip_hint(t, factor)
         elif t.runs >= 2 and t.latest > t.first * 1.05:
             flag = "improved"
         else:
@@ -146,6 +183,8 @@ def render_trends(trends: List[BenchTrend], factor: float = 2.0) -> str:
             f"{_fmt(t.first, t.metric):>12} {_fmt(t.best, t.metric):>12} "
             f"{_fmt(t.latest, t.metric):>12} "
             f"{sparkline(t.values):<12} {flag}".rstrip())
+        if hint:
+            lines.append(hint)
     tail = [f"\n{len(trends)} series; {regressions} regression"
             f"{'' if regressions == 1 else 's'} flagged (factor {factor:g})"]
     return "\n".join(header + lines + tail)

@@ -8,6 +8,12 @@ the runner prepends to the store (its spec is re-expanded with
 :class:`~repro.experiments.spec.ExperimentSpec`), so a watcher needs no
 access to the running process — any shell, any host sharing the file.
 
+The watcher is *shard-aware*: when a sharded dispatch is in flight
+(``<store>.shards/`` exists — see :mod:`repro.sched`), rows still sitting
+in per-shard stores count toward progress before the merge lands them in
+the main store, and a third line summarizes the shard/lease states
+(done / leased / pending, expired leases flagged).
+
 Everything here is a pure function over the row list except the
 :func:`watch` loop itself, so the rendering is unit-testable on synthetic
 stores.
@@ -53,6 +59,35 @@ def read_rows(path: str) -> List[Dict]:
     return rows
 
 
+def read_rows_with_shards(path: str) -> List[Dict]:
+    """Main-store rows followed by any per-shard store rows: a sharded
+    campaign's progress is visible while it is still distributed, before
+    the merge lands the rows in the main store.  Shard rows come last, so
+    the hash-keyed pass in :func:`snapshot` lets them supersede a stale
+    main-store row (e.g. an earlier run's ``skipped``)."""
+    rows = read_rows(path)
+    try:
+        from repro.sched.merge import discover_shard_sources
+        for source in discover_shard_sources(path):
+            rows.extend(read_rows(source))
+    except Exception:  # noqa: BLE001 — shard dir trouble must not kill watch
+        pass
+    return rows
+
+
+def shard_states(path: str) -> Optional[List[Dict]]:
+    """Shard/lease states for the store's shard directory, or None when no
+    sharded dispatch has touched this store."""
+    try:
+        from repro.sched.shards import ShardLayout, shard_dir_for
+        directory = shard_dir_for(path)
+        if not os.path.isdir(directory):
+            return None
+        return ShardLayout.load(directory).states()
+    except Exception:  # noqa: BLE001
+        return None
+
+
 @dataclass
 class WatchState:
     """One snapshot of a campaign store."""
@@ -64,9 +99,11 @@ class WatchState:
     ok: int = 0
     errors: int = 0
     unsupported: int = 0
+    skipped: int = 0
     rate: Optional[float] = None           # trials/s
     eta_seconds: Optional[float] = None
     last_row: Optional[Dict] = None
+    shards: Optional[List[Dict]] = None    # sched shard/lease states
 
     @property
     def pending(self) -> Optional[int]:
@@ -112,6 +149,8 @@ def snapshot(rows: List[Dict], path: str = "") -> WatchState:
             state.errors += 1
         elif status == "unsupported":
             state.unsupported += 1
+        elif status == "skipped":
+            state.skipped += 1
         stamp = row.get("recorded_unix")
         if isinstance(stamp, (int, float)):
             stamps.append(float(stamp))
@@ -134,7 +173,7 @@ def _fmt_duration(seconds: Optional[float]) -> str:
 
 
 def render(state: WatchState) -> str:
-    """One progress block (two lines) for a snapshot."""
+    """One progress block (two lines; three when shards are in play)."""
     total = "?" if state.expected is None else str(state.expected)
     name = state.campaign or "(unknown campaign)"
     head = (f"campaign {name!r}: {state.done}/{total} trials")
@@ -142,6 +181,8 @@ def render(state: WatchState) -> str:
         head += f" ({state.done / state.expected:.1%})"
     head += (f" | ok {state.ok}, unsupported {state.unsupported}, "
              f"errors {state.errors}")
+    if state.skipped:
+        head += f", skipped {state.skipped}"
     rate = f"{state.rate:.2f} trials/s" if state.rate else "rate --"
     eta = ("done" if state.finished
            else f"eta {_fmt_duration(state.eta_seconds)}")
@@ -155,7 +196,21 @@ def render(state: WatchState) -> str:
                  f"alpha={trial.get('alpha', 0):.5f} "
                  f"r{trial.get('replicate', '?')} "
                  f"-> {state.last_row.get('status', '?')}{wall_txt}")
-    return head + "\n" + tail
+    block = head + "\n" + tail
+    if state.shards:
+        done = sum(1 for s in state.shards if s["state"] == "done")
+        leased = [s for s in state.shards if s["state"] == "leased"]
+        expired = sum(1 for s in leased if s.get("expired"))
+        pending = len(state.shards) - done - len(leased)
+        shard_line = (f"shards: {done}/{len(state.shards)} done, "
+                      f"{len(leased)} leased"
+                      + (f" ({expired} EXPIRED)" if expired else "")
+                      + f", {pending} pending")
+        owners = sorted({s.get("owner") for s in leased if s.get("owner")})
+        if owners:
+            shard_line += f" | workers: {', '.join(owners)}"
+        block += "\n" + shard_line
+    return block
 
 
 def watch(path: str, interval: float = 2.0, once: bool = False,
@@ -170,7 +225,8 @@ def watch(path: str, interval: float = 2.0, once: bool = False,
     ticks = 0
     try:
         while True:
-            state = snapshot(read_rows(path), path)
+            state = snapshot(read_rows_with_shards(path), path)
+            state.shards = shard_states(path)
             print(render(state), file=stream, flush=True)
             if once or state.finished:
                 return 0

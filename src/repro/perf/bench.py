@@ -368,6 +368,57 @@ def bench_protocol_end_to_end(protocol_name: str, n: int,
     }
 
 
+#: documented memory ceiling for the n=1024 headline entry (bytes): the
+#: vmap byte-budget chunker plus streaming aggregation must hold peak
+#: traced allocation under this while the full campaign machinery runs
+HEADLINE_N1024_BYTE_BUDGET = 512 * 1024 * 1024
+
+
+def bench_headline_n1024() -> Dict:
+    """The scale-frontier entry: a fault-free det-logn n=1024 trial pushed
+    through the whole campaign stack (spec → runner → store rows →
+    streaming aggregation), with peak traced allocation audited against
+    :data:`HEADLINE_N1024_BYTE_BUDGET`.
+
+    Like the end-to-end entries this records an absolute trajectory
+    (rounds/sec), but the assertion is the point: at n=1024 the payload
+    planes are ~33 MB each, so the run only fits the budget because the
+    aggregation is streaming (O(cells) memory) and batch chunking is
+    byte-budgeted — a regression to materializing the grid fails here
+    before it fails in production-scale campaigns.
+    """
+    import tracemalloc
+
+    from repro.experiments import StreamAggregator, free_grid, run_campaign
+
+    spec = free_grid(name="headline-n1024", protocols=("det-logn",),
+                     adversaries=("null",), ns=(1024,), alphas=(0.0,),
+                     bandwidths=(32,))
+    agg = StreamAggregator()
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = run_campaign(spec, progress=lambda done, total, row: agg.add(row))
+    seconds = time.perf_counter() - start
+    peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    assert result.errors == 0 and result.executed == 1
+    cells = agg.cells()
+    assert len(cells) == 1 and cells[0].ok == 1
+    assert cells[0].accuracy.mean == 1.0
+    assert peak <= HEADLINE_N1024_BYTE_BUDGET, (
+        f"n=1024 peak allocation {peak} exceeded the documented "
+        f"{HEADLINE_N1024_BYTE_BUDGET} byte budget")
+    rounds = int(round(cells[0].rounds.mean))
+    return {
+        "items": rounds,
+        "unit": "protocol-rounds",
+        "batched_seconds": round(seconds, 6),
+        "batched_items_per_sec": round(rounds / seconds, 2),
+        "peak_bytes": int(peak),
+        "byte_budget": HEADLINE_N1024_BYTE_BUDGET,
+    }
+
+
 # -- suite drivers ------------------------------------------------------------
 
 def _suite_plan(suite: str):
@@ -444,6 +495,9 @@ def run_suite(suite: str, smoke: bool = False,
         record("exchange-bits-n256", entry)
         record("nonadaptive-end-to-end",
                bench_protocol_end_to_end("nonadaptive", 64, 32))
+        entry = bench_headline_n1024()
+        entry["full_only"] = True
+        record("headline-scaling-n1024", entry)
     from repro.obs import metrics
     return {
         "schema": SCHEMA_VERSION,

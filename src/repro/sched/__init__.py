@@ -1,0 +1,87 @@
+"""``repro.sched`` — the campaign service layer.
+
+Turns one-shot campaign scripts into long-lived, shardable, multi-worker
+(and multi-host) dispatch:
+
+* :mod:`~repro.sched.backend` — the :class:`~repro.sched.backend.Backend`
+  protocol + registry unifying the ``serial`` / ``process`` / ``vmap`` /
+  ``sharded`` execution paths behind one interface;
+* :mod:`~repro.sched.shards` — content-addressed partitioning of pending
+  trials into per-shard JSONL stores next to the campaign store;
+* :mod:`~repro.sched.lease` — the crash-tolerant file lease/heartbeat
+  claim protocol (expired leases are reclaimed, so a SIGKILLed worker's
+  shard is re-run by a survivor);
+* :mod:`~repro.sched.worker` — the claim→run→done worker loop, spawned
+  locally by the dispatcher or started on any host via
+  ``repro sched work --shards DIR``;
+* :mod:`~repro.sched.dispatcher` — the ``sharded`` campaign backend:
+  spawn N workers, wait for done-markers, merge shard rows back;
+* :mod:`~repro.sched.merge` — store merging/compaction with
+  duplicate-hash precedence (``repro store merge``).
+
+Correctness model: shard stores are append-only JSONL with
+content-addressed, deterministically-seeded rows, so every race the file
+protocol tolerates (lease-break double-runs, torn fleets, repeated
+merges) resolves to byte-identical payloads folded by precedence — the
+leases avoid duplicated *work*; idempotence provides the safety.
+"""
+
+from repro.sched.backend import (
+    Backend,
+    CampaignRun,
+    SHARDS_PER_WORKER,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.sched.lease import (
+    DEFAULT_TTL_SECONDS,
+    LeaseInfo,
+    acquire,
+    heartbeat,
+    read_lease,
+    release,
+)
+from repro.sched.merge import (
+    MergeReport,
+    discover_shard_sources,
+    merge_rows,
+    merge_stores,
+    prefer,
+)
+from repro.sched.shards import (
+    Shard,
+    ShardLayout,
+    partition,
+    row_digest,
+    shard_dir_for,
+)
+from repro.sched.worker import INNER_BACKENDS, WorkerStats, work
+
+__all__ = [
+    "Backend",
+    "CampaignRun",
+    "DEFAULT_TTL_SECONDS",
+    "INNER_BACKENDS",
+    "LeaseInfo",
+    "MergeReport",
+    "SHARDS_PER_WORKER",
+    "Shard",
+    "ShardLayout",
+    "WorkerStats",
+    "acquire",
+    "backend_names",
+    "discover_shard_sources",
+    "get_backend",
+    "heartbeat",
+    "merge_rows",
+    "merge_stores",
+    "partition",
+    "prefer",
+    "read_lease",
+    "register_backend",
+    "release",
+    "row_digest",
+    "shard_dir_for",
+    "work",
+]

@@ -1,0 +1,189 @@
+"""Campaign execution backends behind one interface.
+
+Historically :func:`repro.experiments.runner.run_campaign` branched
+inline on a backend string.  This module lifts each branch into a
+:class:`Backend` object behind a registry, so a new execution substrate
+(the sharded dispatcher, a future remote pool) is one registered class,
+not another ``if`` arm in the runner:
+
+* ``serial``  — resilient per-trial loop in this process;
+* ``process`` — chunked :class:`~concurrent.futures.ProcessPoolExecutor`
+  dispatch across ``jobs`` workers;
+* ``vmap``    — cells batched into single tensor programs
+  (:mod:`repro.experiments.vmap`);
+* ``sharded`` — leased shard dispatch across worker processes/hosts
+  (:mod:`repro.sched.dispatcher`).
+
+Every backend receives a :class:`CampaignRun` — the pending trials, the
+``record`` sink, the resilience policy, and the optional wall-clock
+deadline — and must simply stop executing when :meth:`CampaignRun.out_of_
+time` turns true; the runner then records explicit ``skipped`` rows for
+whatever was not reached, so a time budget never silently drops work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Type
+
+from repro.experiments.spec import ExperimentSpec, TrialSpec
+
+#: default shards per worker for the sharded backend: enough granularity
+#: that reclaiming one dead worker's shard re-runs ~1/(4·workers) of the
+#: campaign, small enough that lease traffic stays negligible
+SHARDS_PER_WORKER = 4
+
+
+@dataclass
+class CampaignRun:
+    """Everything a backend needs to execute one campaign invocation."""
+
+    spec: ExperimentSpec
+    store: "TrialStore"                     # noqa: F821 — runtime type
+    pending: List[TrialSpec]
+    record: Callable[[Dict], None]          # appends row + fires progress
+    jobs: int = 1
+    chunks_per_job: int = 4
+    policy: Optional[object] = None         # faults.ResiliencePolicy
+    deadline: Optional[float] = None        # time.monotonic() cutoff
+    workers: Optional[int] = None           # sharded: local worker count
+    shards: Optional[int] = None            # sharded: shard count
+    lease_ttl: Optional[float] = None       # sharded: heartbeat ttl
+    inner_backend: str = "serial"           # sharded: per-worker engine
+    recorded: Set[str] = field(default_factory=set)
+
+    def out_of_time(self) -> bool:
+        return self.deadline is not None \
+            and time.monotonic() >= self.deadline
+
+    def seconds_left(self) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    def remaining(self) -> List[TrialSpec]:
+        """Pending trials no backend has recorded a row for yet."""
+        return [t for t in self.pending
+                if t.content_hash() not in self.recorded]
+
+
+class Backend:
+    """One way of executing a campaign's pending trials.
+
+    Subclasses implement :meth:`execute`; they must call ``run.record``
+    exactly once per trial they complete and return early (without
+    raising) when ``run.out_of_time()``.
+    """
+
+    #: registry key; subclasses set it and register via @register_backend
+    name: str = "?"
+
+    def execute(self, run: CampaignRun) -> None:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Backend]] = {}
+
+
+def register_backend(cls: Type[Backend]) -> Type[Backend]:
+    """Class decorator adding a backend to the registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def backend_names() -> tuple:
+    """Registered backend names, stable order (serial first — the
+    reference semantics — then the accelerated/distributed ones)."""
+    preferred = ("serial", "process", "vmap", "sharded")
+    names = [n for n in preferred if n in _REGISTRY]
+    names.extend(sorted(set(_REGISTRY) - set(preferred)))
+    return tuple(names)
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown backend {name!r}; known: "
+                         f"{backend_names()}") from None
+    return cls()
+
+
+@register_backend
+class SerialBackend(Backend):
+    """Inline resilient per-trial loop — the reference backend every
+    other one must match row-for-row (modulo volatile fields)."""
+
+    name = "serial"
+
+    def execute(self, run: CampaignRun) -> None:
+        from repro.faults.resilience import execute_trial_resilient
+        for trial in run.pending:
+            if run.out_of_time():
+                return
+            run.record(execute_trial_resilient(trial.to_dict(), run.policy))
+
+
+@register_backend
+class ProcessBackend(Backend):
+    """Chunked process-pool dispatch (the historical ``jobs > 1`` path).
+
+    On deadline the pool is shut down with pending chunks cancelled;
+    chunks that finished while the shutdown drained are still recorded,
+    so the skip set is exactly the work that never ran.
+    """
+
+    name = "process"
+
+    def execute(self, run: CampaignRun) -> None:
+        from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                        wait)
+        from repro.experiments.runner import _chunked, _execute_chunk
+        if not run.pending:
+            return
+        jobs = max(1, run.jobs)
+        chunk_size = max(
+            1, -(-len(run.pending) // (jobs * run.chunks_per_job)))
+        chunks = _chunked([t.to_dict() for t in run.pending], chunk_size)
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {pool.submit(_execute_chunk, chunk, run.policy)
+                       for chunk in chunks}
+            while futures:
+                done, futures = wait(futures, timeout=run.seconds_left(),
+                                     return_when=FIRST_COMPLETED)
+                for future in done:
+                    for row in future.result():
+                        run.record(row)
+                if run.out_of_time() and futures:
+                    for future in futures:
+                        future.cancel()
+                    # running chunks cannot be cancelled — drain the ones
+                    # that complete during shutdown so their rows count
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    for future in futures:
+                        if future.done() and not future.cancelled():
+                            for row in future.result():
+                                run.record(row)
+                    return
+
+
+@register_backend
+class VmapBackend(Backend):
+    """Cell-batched tensor-program execution; the deadline is checked
+    between cells (a cell is the atomic unit of batched work)."""
+
+    name = "vmap"
+
+    def execute(self, run: CampaignRun) -> None:
+        from repro.experiments.vmap import group_cells, run_cell_batched
+        for cell_trials in group_cells(run.pending).values():
+            if run.out_of_time():
+                return
+            for row in run_cell_batched(cell_trials, policy=run.policy):
+                run.record(row)
+
+
+# the sharded backend lives in repro.sched.dispatcher (it needs the whole
+# shard/lease/worker machinery); importing it registers it
+from repro.sched import dispatcher as _dispatcher  # noqa: E402,F401

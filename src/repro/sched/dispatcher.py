@@ -1,0 +1,152 @@
+"""The sharded dispatcher: leased shard dispatch across processes/hosts.
+
+``run_campaign(..., backend="sharded")`` lands here.  The dispatcher
+
+1. partitions the campaign's pending trials into content-addressed shards
+   (:mod:`repro.sched.shards`) next to the campaign store,
+2. spawns N local worker *subprocesses* — each runs the exact CLI worker
+   loop (``repro sched work``), so a local fleet and a multi-host fleet
+   pointed at a shared directory are the same code path,
+3. waits for every shard's done-marker (workers reclaim expired leases
+   themselves, so a SIGKILLed worker's shard is re-run by a survivor
+   without dispatcher intervention), and
+4. merges the shard stores into the main campaign store with
+   duplicate-hash precedence, recording each merged row through the
+   runner's normal ``record`` sink.
+
+The dispatcher itself holds no lease and runs no trial: killing it loses
+nothing (workers keep draining shards; a later ``repro store merge`` or
+``resume`` picks the rows up).  A time budget terminates workers at the
+deadline; rows already landed in shard stores are still merged, and the
+runner records the rest as ``skipped``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.sched.backend import (Backend, CampaignRun, SHARDS_PER_WORKER,
+                                 register_backend)
+from repro.sched.lease import DEFAULT_TTL_SECONDS
+from repro.sched.merge import merge_rows
+from repro.sched.shards import ShardLayout, shard_dir_for
+
+#: how often the dispatcher polls for done-markers / dead workers
+_POLL_SECONDS = 0.2
+
+
+def _worker_env() -> Dict[str, str]:
+    """Subprocess environment with the repro package importable even when
+    the project is not pip-installed (tests, bare checkouts)."""
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    existing = env.get("PYTHONPATH")
+    if package_root not in (existing or "").split(os.pathsep):
+        env["PYTHONPATH"] = (f"{package_root}{os.pathsep}{existing}"
+                             if existing else package_root)
+    return env
+
+
+def _worker_command(shard_dir: str, owner: str, inner_backend: str,
+                    lease_ttl: float, policy) -> List[str]:
+    cmd = [sys.executable, "-m", "repro", "sched", "work",
+           "--shards", shard_dir, "--owner", owner,
+           "--inner-backend", inner_backend, "--ttl", str(lease_ttl),
+           "--quiet"]
+    if policy is not None and getattr(policy, "timeout_seconds", None):
+        cmd += ["--timeout", str(policy.timeout_seconds)]
+    if policy is not None and getattr(policy, "retries", 0):
+        cmd += ["--retries", str(policy.retries)]
+    return cmd
+
+
+def spawn_worker(shard_dir: str, owner: str,
+                 inner_backend: str = "serial",
+                 lease_ttl: float = DEFAULT_TTL_SECONDS,
+                 policy=None) -> subprocess.Popen:
+    """Start one local worker subprocess on ``shard_dir`` (exposed for
+    tests and for scripting ad-hoc fleets)."""
+    return subprocess.Popen(
+        _worker_command(shard_dir, owner, inner_backend, lease_ttl, policy),
+        env=_worker_env())
+
+
+def _terminate(procs: List[subprocess.Popen], grace_seconds: float = 5.0
+               ) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+    deadline = time.monotonic() + grace_seconds
+    for proc in procs:
+        if proc.poll() is None:
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+def merge_shards_into_run(layout: ShardLayout, run: CampaignRun) -> int:
+    """Fold every shard store's rows into the campaign store via the
+    runner's ``record`` sink (one row per pending trial, precedence on
+    duplicates).  Returns the number of rows recorded."""
+    from repro.experiments.store import iter_store_rows
+    merged = merge_rows(iter_store_rows(path)
+                        for path in layout.shard_store_paths())
+    recorded = 0
+    for trial in run.pending:
+        row = merged.get(trial.content_hash())
+        if row is not None:
+            run.record(row)
+            recorded += 1
+    return recorded
+
+
+@register_backend
+class ShardedBackend(Backend):
+    """Leased shard dispatch across local worker subprocesses (and any
+    extra workers other hosts point at the shard directory)."""
+
+    name = "sharded"
+
+    def execute(self, run: CampaignRun) -> None:
+        if run.store.path is None:
+            raise ValueError(
+                "the sharded backend needs a file-backed store "
+                "(shards live next to the store file)")
+        if not run.pending:
+            return
+        workers = run.workers or max(2, run.jobs)
+        num_shards = run.shards or min(len(run.pending),
+                                       workers * SHARDS_PER_WORKER)
+        lease_ttl = run.lease_ttl or DEFAULT_TTL_SECONDS
+        shard_dir = shard_dir_for(run.store.path)
+        layout = ShardLayout.create(shard_dir, run.spec.name, run.pending,
+                                    num_shards)
+        procs = [spawn_worker(shard_dir, owner=f"w{i}",
+                              inner_backend=run.inner_backend,
+                              lease_ttl=lease_ttl, policy=run.policy)
+                 for i in range(workers)]
+        try:
+            while not layout.all_done():
+                if run.out_of_time():
+                    break
+                if all(proc.poll() is not None for proc in procs):
+                    # the whole local fleet exited; any shard still not
+                    # done belongs to a remote worker or is lost — either
+                    # way there is nothing left to wait for locally
+                    remote_leases = any(
+                        state["state"] == "leased" and not state["expired"]
+                        for state in layout.states())
+                    if not remote_leases:
+                        break
+                time.sleep(_POLL_SECONDS)
+        finally:
+            _terminate(procs)
+        merge_shards_into_run(layout, run)

@@ -1,0 +1,152 @@
+"""Shard leases: a crash-tolerant file claim protocol.
+
+A worker claims a shard by *exclusively creating* its lease file
+(``O_CREAT | O_EXCL`` — the one atomic "first writer wins" primitive every
+POSIX filesystem gives us) and keeps the claim alive by rewriting the file
+with a fresh heartbeat stamp.  A worker that is SIGKILLed stops
+heartbeating; once ``ttl_seconds`` pass without a beat, any other worker
+may *break* the lease (unlink + fresh exclusive create) and re-run the
+shard.
+
+The break has a classic small race: two workers can both observe an
+expired lease, both unlink, and both create — the second unlink removes
+the first stealer's fresh lease and two workers briefly run the same
+shard.  That is deliberate and safe here: shard stores are append-only
+JSONL with content-addressed, deterministically-seeded rows, so a
+double-run produces duplicate rows with *identical payloads* and the
+merge compactor (:mod:`repro.sched.merge`) folds them to one.  Leases
+exist to avoid duplicated *work*, not to guarantee mutual exclusion —
+correctness comes from idempotence.
+
+Lease files are JSON so operators (and the CI chaos job) can read the
+owner and pid of whoever holds a shard::
+
+    {"owner": "w0", "pid": 12345, "host": "...", "acquired_unix": ...,
+     "heartbeat_unix": ..., "ttl_seconds": 30.0}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+#: default heartbeat time-to-live; pick a ttl comfortably above the
+#: heartbeat interval (workers beat every ttl/3) and well below how long
+#: you are willing to wait before a dead worker's shard is re-run
+DEFAULT_TTL_SECONDS = 30.0
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """The decoded contents of one lease file."""
+
+    owner: str
+    pid: int
+    host: str
+    acquired_unix: float
+    heartbeat_unix: float
+    ttl_seconds: float
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        now = time.time() if now is None else now
+        return now - self.heartbeat_unix > self.ttl_seconds
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _fresh(owner: str, ttl_seconds: float) -> LeaseInfo:
+    now = time.time()
+    return LeaseInfo(owner=owner, pid=os.getpid(), host=socket.gethostname(),
+                     acquired_unix=now, heartbeat_unix=now,
+                     ttl_seconds=float(ttl_seconds))
+
+
+def read_lease(path: str) -> Optional[LeaseInfo]:
+    """Decode a lease file; ``None`` for absent/corrupt files (a torn
+    lease write counts as no lease — the claim protocol re-creates it)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        return LeaseInfo(
+            owner=str(data["owner"]), pid=int(data["pid"]),
+            host=str(data.get("host", "?")),
+            acquired_unix=float(data["acquired_unix"]),
+            heartbeat_unix=float(data["heartbeat_unix"]),
+            ttl_seconds=float(data["ttl_seconds"]))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _write_exclusive(path: str, info: LeaseInfo) -> bool:
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+    except FileExistsError:
+        return False
+    try:
+        os.write(fd, json.dumps(info.to_dict(), sort_keys=True).encode())
+    finally:
+        os.close(fd)
+    return True
+
+
+def acquire(path: str, owner: str,
+            ttl_seconds: float = DEFAULT_TTL_SECONDS) -> bool:
+    """Try to claim the lease at ``path`` for ``owner``.
+
+    Returns ``True`` on success.  A live lease held by someone else loses;
+    an *expired* (or unreadable) lease is broken and re-claimed.  A lease
+    this same owner already holds is refreshed in place (idempotent
+    re-claim after e.g. a worker restart under the same name).
+    """
+    if _write_exclusive(path, _fresh(owner, ttl_seconds)):
+        return True
+    current = read_lease(path)
+    if current is not None and current.owner == owner \
+            and current.pid == os.getpid():
+        return heartbeat(path, owner)
+    if current is not None and not current.expired():
+        return False
+    # expired or corrupt: break it.  See the module docstring for why the
+    # unlink/create race is tolerated rather than locked away.
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass
+    return _write_exclusive(path, _fresh(owner, ttl_seconds))
+
+
+def heartbeat(path: str, owner: str) -> bool:
+    """Refresh the heartbeat stamp if ``owner`` still holds the lease.
+
+    Returns ``False`` (without writing) when the lease vanished or now
+    belongs to someone else — the worker should treat that as "my shard
+    was stolen" and stop writing done-markers for it.  The rewrite goes
+    through a temp file + ``rename`` so readers never see a torn lease.
+    """
+    current = read_lease(path)
+    if current is None or current.owner != owner:
+        return False
+    refreshed = LeaseInfo(
+        owner=current.owner, pid=current.pid, host=current.host,
+        acquired_unix=current.acquired_unix, heartbeat_unix=time.time(),
+        ttl_seconds=current.ttl_seconds)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(refreshed.to_dict(), fh, sort_keys=True)
+    os.replace(tmp, path)
+    return True
+
+
+def release(path: str, owner: str) -> None:
+    """Drop the lease if ``owner`` holds it (no-op otherwise)."""
+    current = read_lease(path)
+    if current is not None and current.owner == owner:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass

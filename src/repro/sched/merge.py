@@ -1,0 +1,149 @@
+"""Store merging and compaction with duplicate-hash precedence.
+
+A sharded dispatch (and any multi-writer or crash-riddled history) leaves
+the same trial hash in several places: per-shard stores, a partially
+filled main store, rows re-recorded after retries or lease-break
+double-runs.  ``merge_stores`` folds them into one compacted store file —
+exactly one row per hash — using a precedence order instead of blind
+last-write-wins:
+
+1. **Terminal verdicts beat transient ones.**  ``ok`` and ``unsupported``
+   rows are deterministic outcomes; ``error`` rows record a crash that a
+   retry may heal; ``skipped`` rows record un-attempted work.  A terminal
+   row is never displaced by a transient one, whatever their timestamps.
+2. **Among equals, the freshest wins** (``recorded_unix``), falling back
+   to source order for rows without stamps.
+
+Rows that are not trial results (campaign headers, bench rows) keep
+last-write-wins by hash, preserving the store's existing semantics.
+
+The compactor writes the merged rows to a temp file and atomically
+renames it over the target, so a reader (or a crash) never sees a
+half-merged store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.store import TrialStore, iter_store_rows
+
+#: status precedence: higher rank wins a duplicate-hash conflict
+_STATUS_RANK = {"ok": 3, "unsupported": 3, "error": 2, "skipped": 1}
+
+
+def _rank(row: Dict) -> int:
+    return _STATUS_RANK.get(row.get("status"), 0)
+
+
+def prefer(incumbent: Optional[Dict], challenger: Dict) -> Dict:
+    """The row that survives a duplicate-hash conflict."""
+    if incumbent is None:
+        return challenger
+    if "trial" not in incumbent or "trial" not in challenger:
+        return challenger  # non-trial rows: last write wins
+    a, b = _rank(incumbent), _rank(challenger)
+    if a != b:
+        return incumbent if a > b else challenger
+    t_inc = incumbent.get("recorded_unix", float("-inf"))
+    t_cha = challenger.get("recorded_unix", float("-inf"))
+    # ties keep the incumbent: a byte-identical duplicate (lease-break
+    # double-run, re-merge) must not read as an "upgrade"
+    return challenger if t_cha > t_inc else incumbent
+
+
+@dataclass
+class MergeReport:
+    """What a merge did: row counts and conflict bookkeeping."""
+
+    target: str
+    sources: List[str] = field(default_factory=list)
+    rows: int = 0                 # rows in the merged store
+    read: int = 0                 # rows read across target + sources
+    duplicates: int = 0           # duplicate-hash conflicts resolved
+    upgraded: int = 0             # conflicts where a later source won
+
+    def __str__(self) -> str:
+        return (f"merged {len(self.sources)} source(s) into {self.target}: "
+                f"{self.rows} rows ({self.read} read, "
+                f"{self.duplicates} duplicates folded, "
+                f"{self.upgraded} upgraded)")
+
+
+def merge_rows(row_streams: Iterable[Iterable[Dict]],
+               report: Optional[MergeReport] = None) -> Dict[str, Dict]:
+    """Fold row streams into ``hash -> surviving row`` (insertion-ordered:
+    first appearance of a hash fixes its position, precedence picks its
+    payload).  Streams are consumed incrementally — nothing beyond the
+    surviving rows is held in memory."""
+    merged: Dict[str, Dict] = {}
+    for stream in row_streams:
+        for row in stream:
+            digest = row.get("hash")
+            if not digest:
+                continue
+            if report is not None:
+                report.read += 1
+            incumbent = merged.get(digest)
+            if incumbent is None:
+                merged[digest] = row
+                continue
+            winner = prefer(incumbent, row)
+            if report is not None:
+                report.duplicates += 1
+                if winner is not incumbent:
+                    report.upgraded += 1
+            merged[digest] = winner
+    return merged
+
+
+def merge_stores(target_path: str, sources: Sequence[str],
+                 compact: bool = True) -> MergeReport:
+    """Merge ``sources`` (shard stores, other campaign stores) into the
+    store at ``target_path``.
+
+    The target's own rows participate in precedence like any source, but
+    with the strongest seniority (they are read first, so a source row
+    must *win* a conflict to displace one).  With ``compact=True`` the
+    result is rewritten as one row per hash via temp-file + atomic rename;
+    ``compact=False`` only appends the rows the target was missing (or
+    that upgraded an incumbent), preserving its history of lines.
+    """
+    report = MergeReport(target=target_path, sources=list(sources))
+    streams = [iter_store_rows(target_path)]
+    streams.extend(iter_store_rows(src) for src in sources)
+    merged = merge_rows(streams, report)
+    report.rows = len(merged)
+
+    if compact:
+        directory = os.path.dirname(target_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = f"{target_path}.merge.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for row in merged.values():
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+        os.replace(tmp, target_path)
+    else:
+        incumbent = {r["hash"]: r
+                     for r in iter_store_rows(target_path) if "hash" in r}
+        with TrialStore(target_path) as store:
+            for digest, row in merged.items():
+                if incumbent.get(digest) is not row:
+                    store.append(row)
+    return report
+
+
+def discover_shard_sources(store_path: str) -> List[str]:
+    """The shard stores belonging to a campaign store (the default source
+    list for ``repro store merge``)."""
+    from repro.sched.shards import shard_dir_for
+    directory = shard_dir_for(store_path)
+    if not os.path.isdir(directory):
+        return []
+    return [os.path.join(directory, name)
+            for name in sorted(os.listdir(directory))
+            if name.startswith("shard-") and name.endswith(".jsonl")]

@@ -1,0 +1,75 @@
+"""Concurrent-writer safety of the TrialStore append path.
+
+The sharded scheduler's correctness rests on one property of the store:
+an append is a single ``os.write`` to an ``O_APPEND`` descriptor, so any
+number of processes appending to the same JSONL file can only ever
+produce whole lines — never interleaved or torn ones.  This is the
+property test: hammer one store file from several processes at once and
+assert every line parses, every row is intact, and nothing was lost.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.experiments.store import TrialStore, iter_store_rows
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+
+WRITER = """
+import json, os, sys
+sys.path.insert(0, {src!r})
+from repro.experiments.store import TrialStore
+writer_id, rows, path = int(sys.argv[1]), int(sys.argv[2]), sys.argv[3]
+with TrialStore(path) as store:
+    for i in range(rows):
+        store.append({{
+            "hash": f"w{{writer_id}}-{{i:04d}}",
+            "trial": {{"writer": writer_id, "i": i}},
+            "status": "ok",
+            # bulk payload makes a torn write far more likely if the
+            # single-os.write guarantee were ever broken
+            "payload": "x" * 512,
+        }})
+""".format(src=os.path.abspath(SRC))
+
+
+def hammer(path, writers=4, rows=200):
+    procs = [subprocess.Popen([sys.executable, "-c", WRITER,
+                               str(w), str(rows), path])
+             for w in range(writers)]
+    for proc in procs:
+        assert proc.wait() == 0
+    return writers, rows
+
+
+class TestMultiWriterStore:
+    def test_concurrent_appends_never_tear_or_interleave(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        writers, rows = hammer(path)
+        with open(path, "rb") as fh:
+            raw_lines = fh.read().split(b"\n")
+        assert raw_lines[-1] == b""  # file ends on a complete line
+        parsed = [json.loads(line) for line in raw_lines[:-1]]
+        assert len(parsed) == writers * rows  # nothing lost, nothing merged
+        for row in parsed:
+            # an interleaved write would corrupt the fixed-shape payload
+            assert row["payload"] == "x" * 512
+            assert row["hash"] == \
+                f"w{row['trial']['writer']}-{row['trial']['i']:04d}"
+
+    def test_every_writers_rows_all_land(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        writers, rows = hammer(path, writers=3, rows=150)
+        seen = {r["hash"] for r in iter_store_rows(path)}
+        expected = {f"w{w}-{i:04d}"
+                    for w in range(writers) for i in range(rows)}
+        assert seen == expected
+
+    def test_store_reloads_clean_after_concurrent_writes(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        writers, rows = hammer(path, writers=3, rows=100)
+        store = TrialStore(path)
+        assert store.torn == 0
+        assert len(store) == writers * rows
