@@ -66,16 +66,28 @@ class BatchRoundView:
     #: ``keep_history=False`` (only possible when no adversary reads them)
     histories: Sequence[List[RoundOutcome]] = field(default_factory=list)
     label: str = ""
+    #: per-trial round widths for a *ragged* exchange (``None`` means the
+    #: exchange is lockstep and every trial sees :attr:`width`)
+    widths: Optional[np.ndarray] = None
+    #: per-trial participation mask for a ragged exchange (``None`` means
+    #: every trial is still running this round)
+    active: Optional[np.ndarray] = None
 
     @property
     def trials(self) -> int:
         return self.intended.shape[0]
 
+    def trial_width(self, t: int) -> int:
+        return int(self.widths[t]) if self.widths is not None else self.width
+
+    def trial_active(self, t: int) -> bool:
+        return bool(self.active[t]) if self.active is not None else True
+
     def trial_view(self, t: int) -> RoundView:
         """Serial view of trial ``t`` — what a wrapped per-trial adversary
         would have seen from a serial engine."""
         history = self.histories[t] if len(self.histories) else []
-        return RoundView(index=self.index, width=self.width,
+        return RoundView(index=self.index, width=self.trial_width(t),
                          intended=self.intended[t], history=history,
                          label=self.label)
 
@@ -161,6 +173,11 @@ class PerTrialAdversaryBatch(BatchedAdversary):
     def select_edges_many(self, view: BatchRoundView) -> np.ndarray:
         masks = []
         for t, adv in enumerate(self.adversaries):
+            if not view.trial_active(t):
+                # a serial run of this trial already finished: its
+                # adversary sees no further rounds and draws nothing
+                masks.append(np.zeros_like(view.intended[t], dtype=bool))
+                continue
             try:
                 masks.append(np.asarray(adv.select_edges(view.trial_view(t)),
                                         dtype=bool))
@@ -172,6 +189,9 @@ class PerTrialAdversaryBatch(BatchedAdversary):
                      edges: np.ndarray) -> np.ndarray:
         delivered = []
         for t, adv in enumerate(self.adversaries):
+            if not view.trial_active(t):
+                delivered.append(view.intended[t].copy())
+                continue
             try:
                 delivered.append(np.asarray(
                     adv.corrupt(view.trial_view(t), edges[t]),
@@ -223,11 +243,15 @@ class BatchedNonAdaptiveAdversary(BatchedAdversary):
         budget = self.budget
         if budget < 1:
             return np.zeros((self.trials, self.n, self.n), dtype=bool)
-        # independent per-trial permutation draws, one gather for the masks
-        choices = np.stack([
-            rng.permutation(self._matchings.shape[0])[:budget]
-            for rng in self._schedule_rngs])
-        return self._matchings[choices].any(axis=1)
+        # independent per-trial permutation draws, one gather for the masks;
+        # trials a serial run would already have finished draw nothing
+        masks = np.zeros((self.trials, self.n, self.n), dtype=bool)
+        for t, rng in enumerate(self._schedule_rngs):
+            if not view.trial_active(t):
+                continue
+            choice = rng.permutation(self._matchings.shape[0])[:budget]
+            masks[t] = self._matchings[choice].any(axis=0)
+        return masks
 
     def corrupt_many(self, view: BatchRoundView,
                      edges: np.ndarray) -> np.ndarray:
@@ -236,15 +260,19 @@ class BatchedNonAdaptiveAdversary(BatchedAdversary):
         if self.content_attack == "drop":
             return np.where(mask, np.int64(-1), intended)
         if self.content_attack == "flip":
-            all_ones = np.int64((1 << view.width) - 1)
+            if view.widths is not None:
+                all_ones = ((np.int64(1) << view.widths.astype(np.int64))
+                            - 1)[:, None, None]
+            else:
+                all_ones = np.int64((1 << view.width) - 1)
             flipped = np.where(intended >= 0, intended ^ all_ones, all_ones)
             return np.where(mask, flipped, intended)
         # "random" draws from each trial's private stream in serial order
         delivered = intended.copy()
-        high = 1 << view.width
         for t, rng in enumerate(self._rngs):
             count = int(mask[t].sum())
             if count:
+                high = 1 << view.trial_width(t)
                 delivered[t][mask[t]] = rng.integers(0, high, size=count,
                                                      dtype=np.int64)
         return delivered

@@ -71,6 +71,16 @@ class BatchedClique:
         self.rounds_used = 0
         self.bits_sent = np.zeros(trials, dtype=np.int64)
         self.entries_corrupted = np.zeros(trials, dtype=np.int64)
+        #: extra per-trial rounds booked by :meth:`exchange_words_ragged`
+        #: (zero for purely lockstep protocols)
+        self.rounds_ragged = np.zeros(trials, dtype=np.int64)
+        self._ragged_done = False
+
+    @property
+    def rounds_by_trial(self) -> np.ndarray:
+        """Per-trial round counts: the shared lockstep prefix plus any
+        trial-specific ragged-tail rounds."""
+        return self.rounds_used + self.rounds_ragged
 
     # -- core round ----------------------------------------------------------
     def _check_width(self, width: int) -> None:
@@ -90,6 +100,25 @@ class BatchedClique:
             raise BandwidthViolation(
                 f"payload values must be -1 or fit in {width} bits")
 
+    def _fast_booking(self) -> bool:
+        """True when per-round accounting can collapse to plain counter
+        arithmetic (no history, tracer, or metrics consumers); the counter
+        values stay bit-identical either way."""
+        return (not self.keep_history and tracing.active() is None
+                and not metrics.enabled())
+
+    def _book_rounds_fast(self, intended_stack: np.ndarray,
+                          widths: Sequence[int]) -> None:
+        """Book a whole fault-free ``(rounds, trials, n, n)`` stack with one
+        reduction; only legal under :meth:`_fast_booking`."""
+        ids = np.arange(self.n)
+        sent_entries = (np.count_nonzero(intended_stack >= 0, axis=(2, 3))
+                        - np.count_nonzero(
+                            intended_stack[:, :, ids, ids] >= 0, axis=2))
+        self.rounds_used += len(widths)
+        self.bits_sent += (np.asarray(widths, dtype=np.int64)[:, None]
+                           * sent_entries).sum(axis=0)
+
     def _book_round_many(self, intended: np.ndarray, delivered: np.ndarray,
                          edges: Optional[np.ndarray], width: int,
                          label: str) -> None:
@@ -105,6 +134,11 @@ class BatchedClique:
                         - np.count_nonzero(intended[:, ids, ids] >= 0,
                                            axis=1)).astype(np.int64)
         bits = width * sent_entries
+        if self._fast_booking():
+            self.rounds_used += 1
+            self.bits_sent += bits
+            self.entries_corrupted += corrupted
+            return
         if self.keep_history:
             for t in range(self.trials):
                 self.histories[t].append(RoundOutcome(
@@ -127,6 +161,10 @@ class BatchedClique:
               label: str = "") -> np.ndarray:
         """Execute one synchronous round in every trial; returns the
         ``(trials, n, n)`` delivered stack."""
+        if self._ragged_done:
+            raise RuntimeError(
+                "a ragged exchange must be the final transport: per-trial "
+                "round indices have already diverged")
         width = self.bandwidth if width is None else width
         self._check_width(width)
         intended = np.asarray(intended, dtype=np.int64)
@@ -188,9 +226,13 @@ class BatchedClique:
                 if width < max_width:
                     self._check_payload(intended_stack[i], width)
             self._check_payload(intended_stack, max_width)
-            for i, width in enumerate(widths):
-                self._book_round_many(intended_stack[i], intended_stack[i],
-                                      None, width, labels[i])
+            if self._fast_booking():
+                self._book_rounds_fast(intended_stack, widths)
+            else:
+                for i, width in enumerate(widths):
+                    self._book_round_many(intended_stack[i],
+                                          intended_stack[i],
+                                          None, width, labels[i])
             return intended_stack.copy()
 
     # -- helpers -------------------------------------------------------------
@@ -277,6 +319,120 @@ class BatchedClique:
             if off + take > WORD_BITS:
                 out[..., word + 1] |= got[part] >> np.uint64(
                     WORD_BITS - off)
+        return out, dropped
+
+    def exchange_words_ragged(self, words: np.ndarray, present: np.ndarray,
+                              widths: np.ndarray, label: str = "",
+                              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Packed-word transport with a *per-trial* width: trial ``t``
+        moves ``widths[t]`` bits per present entry over
+        ``ceil(widths[t] / B)`` rounds — exactly the chunk rounds a serial
+        run of that trial would execute.  Trials whose width is exhausted
+        stop participating (their adversary instances are not consulted,
+        their counters stop), so per-trial round counts diverge; the extra
+        rounds land in :attr:`rounds_ragged` and no lockstep round may
+        follow.  Used by the adaptive compiler's query-answer exchange,
+        whose width is a per-trial random quantity."""
+        words = np.asarray(words, dtype=np.uint64)
+        present = np.asarray(present, dtype=bool)
+        widths = np.asarray(widths, dtype=np.int64)
+        if widths.shape != (self.trials,):
+            raise ValueError(f"expected ({self.trials},) per-trial widths")
+        if widths.min() < 1:
+            raise ValueError("ragged widths must be at least 1 bit")
+        max_width = int(widths.max())
+        if int(widths.min()) == max_width:
+            return self.exchange_words(words, present, max_width,
+                                       label=label)
+        n_words = words_per_width(max_width)
+        if words.ndim != 4 or words.shape[:3] != (self.trials, self.n,
+                                                  self.n) \
+                or words.shape[3] < n_words:
+            raise ValueError(
+                f"expected shape ({self.trials}, {self.n}, {self.n}, "
+                f">={n_words})")
+        ids = np.arange(self.n)
+        sent_entries = (np.count_nonzero(present, axis=(1, 2))
+                        - np.count_nonzero(present[:, ids, ids], axis=1)
+                        ).astype(np.int64)
+        dropped = np.zeros((self.trials, self.n, self.n), dtype=bool)
+        out = np.zeros_like(words)
+        spans = self._chunk_spans(max_width, self.bandwidth)
+        for part, (start, _) in enumerate(spans):
+            active = widths > start
+            takes = np.where(active,
+                             np.minimum(self.bandwidth, widths - start), 0)
+            word, off = divmod(start, WORD_BITS)
+            value = words[..., word] >> np.uint64(off)
+            if off and off + self.bandwidth > WORD_BITS \
+                    and word + 1 < words.shape[3]:
+                value = value | (words[..., word + 1]
+                                 << np.uint64(WORD_BITS - off))
+            masks = ((np.uint64(1) << takes.astype(np.uint64))
+                     - np.uint64(1))[:, None, None]
+            chunk = (value & masks).astype(np.int64)
+            mask_send = present & active[:, None, None]
+            intended = np.where(mask_send, chunk, np.int64(-1))
+            label_p = f"{label}[bits{start}]"
+            if self.fault_free():
+                delivered = intended
+                corrupted = np.zeros(self.trials, dtype=np.int64)
+            else:
+                view = BatchRoundView(
+                    index=self.rounds_used + part, width=int(takes.max()),
+                    intended=intended.copy(), histories=self.histories,
+                    label=label_p, widths=takes.copy(),
+                    active=active.copy())
+                edges = np.asarray(self.adversary.select_edges_many(view),
+                                   dtype=bool)
+                edges[~active] = False
+                validate_fault_sets(edges, self.n,
+                                    getattr(self.adversary,
+                                            "validation_alpha",
+                                            self.adversary.alpha))
+                proposed = np.asarray(
+                    self.adversary.corrupt_many(view, edges),
+                    dtype=np.int64)
+                if proposed.shape != intended.shape:
+                    raise ValueError(
+                        "adversary returned a malformed delivery stack")
+                high = (np.int64(1) << takes)[:, None, None]
+                proposed = np.clip(proposed, -1, high - 1)
+                delivered = np.where(edges, proposed, intended)
+                delivered[:, ids, ids] = intended[:, ids, ids]
+                corrupted = np.count_nonzero(delivered != intended,
+                                             axis=(1, 2)).astype(np.int64)
+            bits = takes * np.where(active, sent_entries, 0)
+            if self.keep_history:
+                for t in range(self.trials):
+                    if active[t]:
+                        self.histories[t].append(RoundOutcome(
+                            index=int(self.rounds_used
+                                      + self.rounds_ragged[t]),
+                            width=int(takes[t]), intended=None,
+                            delivered=None, fault_edges=None,
+                            corrupted_entries=int(corrupted[t]),
+                            bits=int(bits[t]), label=label_p))
+            if not self._fast_booking():
+                metrics.count("net.rounds")
+                metrics.count("net.bits", int(bits.sum()))
+                tracer = tracing.active()
+                if tracer is not None:
+                    tracer.round_event(index=self.rounds_used + part,
+                                       label=label_p,
+                                       width=int(takes.max()),
+                                       bits=int(bits.sum()),
+                                       corrupted=int(corrupted.sum()))
+            self.rounds_ragged += active
+            self.bits_sent += bits
+            self.entries_corrupted += corrupted
+            dropped |= mask_send & (delivered < 0)
+            got = np.where(delivered < 0, 0, delivered).astype(np.uint64)
+            out[..., word] |= got << np.uint64(off)
+            if off and off + self.bandwidth > WORD_BITS \
+                    and word + 1 < out.shape[3]:
+                out[..., word + 1] |= got >> np.uint64(WORD_BITS - off)
+        self._ragged_done = True
         return out, dropped
 
     def exchange_bits(self, bits: np.ndarray, present: np.ndarray,

@@ -61,7 +61,10 @@ class LinearBlockCode(BinaryCode):
         self.n = n
         self.generator = generator
         messages = _all_messages(k)
-        self._codebook = (messages @ generator) % 2
+        self._messages = messages
+        self._codebook = ((messages @ generator) % 2).astype(np.uint8)
+        self._msg_weights = (np.int64(1) << np.arange(k, dtype=np.int64))
+        self._decode_table: Optional[np.ndarray] = None
         nonzero = self._codebook[1:]
         if nonzero.size == 0:
             self.min_distance = n
@@ -100,8 +103,13 @@ class LinearBlockCode(BinaryCode):
         if blocks.ndim != 2 or blocks.shape[1] != self.n:
             raise ValueError(f"expected shape (*, {self.n}), got {blocks.shape}")
         weights = (np.int64(1) << np.arange(self.n, dtype=np.int64))
-        packed = (blocks.astype(np.int64) * weights[None, :]).sum(axis=1)
-        codebook = (self._codebook.astype(np.int64) * weights[None, :]).sum(axis=1)
+        packed = blocks.astype(np.int64) @ weights
+        if erasures is None and self.n <= 16:
+            # every received word fits in 16 bits: decode each of the 2^n
+            # possibilities once (lazily) and look the answers up.  This is
+            # the erasure-free hot path of the batched router.
+            return self._messages[self._full_decode_table()[packed]]
+        codebook = self._codebook.astype(np.int64) @ weights
         keep = None
         if erasures is not None:
             masks = np.asarray(erasures, dtype=bool)
@@ -119,7 +127,18 @@ class LinearBlockCode(BinaryCode):
             dist = (table[xor & 0xFFFF] + table[(xor >> 16) & 0xFFFF]
                     + table[(xor >> 32) & 0xFFFF])
             out[start:start + step] = dist.argmin(axis=1)
-        return _all_messages(self.k)[out]
+        return self._messages[out]
+
+    def _full_decode_table(self) -> np.ndarray:
+        """Message index of the nearest codeword for every possible packed
+        received word (requires ``n <= 16``).  Computed once per code."""
+        if self._decode_table is None:
+            every = np.arange(1 << self.n, dtype=np.int64)
+            codebook = self._codebook.astype(np.int64) \
+                @ (np.int64(1) << np.arange(self.n, dtype=np.int64))
+            dist = _POPCOUNT_16[every[:, None] ^ codebook[None, :]]
+            self._decode_table = dist.argmin(axis=1)
+        return self._decode_table
 
     # -- batched BinaryCode interface -----------------------------------------
     supports_erasures = True
@@ -128,7 +147,8 @@ class LinearBlockCode(BinaryCode):
         messages = np.asarray(messages, dtype=np.uint8)
         if messages.size == 0:
             return np.zeros((0, self.n), dtype=np.uint8)
-        return ((messages.astype(np.int64) @ self.generator) % 2).astype(np.uint8)
+        # 2^k codewords are precomputed; a gather beats the GF(2) matmul
+        return self._codebook[messages.astype(np.int64) @ self._msg_weights]
 
     def decode_many_flagged(self, received: np.ndarray,
                             erasures: np.ndarray | None = None):

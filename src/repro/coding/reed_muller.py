@@ -256,6 +256,35 @@ class ReedMullerLDC(LocallyDecodableCode):
         coeffs = berlekamp_welch(self.field, ts, values % self.p, self.degree)
         return int(coeffs[0])  # g(0) = f(decoded point)
 
+    def _line_operators(self):
+        """Cached (interpolation inverse, full Vandermonde) pair for the
+        line-decoding fast path — both depend only on (p, degree)."""
+        cached = getattr(self, "_line_ops", None)
+        if cached is not None:
+            return cached
+        ts = np.arange(1, self.p, dtype=np.int64)
+        d = self.degree
+        head = ts[:d + 1]
+        vander = np.ones((d + 1, d + 1), dtype=np.int64)
+        for j in range(1, d + 1):
+            vander[:, j] = vander[:, j - 1] * head % self.p
+        inverse = np.stack(
+            [self.field.solve(vander, np.eye(d + 1, dtype=np.int64)[:, j])
+             for j in range(d + 1)], axis=1)
+        full_vander = np.ones((self.p - 1, d + 1), dtype=np.int64)
+        for j in range(1, d + 1):
+            full_vander[:, j] = full_vander[:, j - 1] * ts % self.p
+        # fused "head values -> tail predictions" operator, kept in float64
+        # for the batched fast path (entries < p, so every accumulated
+        # product below stays < p^2 * (d+1) < 2^53 and is exact).  The fit
+        # interpolates the first d+1 points exactly, so only the remaining
+        # q - (d+1) coordinates can disagree and need predicting
+        predict = self.field.matmul(inverse.T, full_vander.T)
+        self._line_ops = (inverse, full_vander,
+                          predict[:, d + 1:].astype(np.float64),
+                          inverse[0].astype(np.float64))
+        return self._line_ops
+
     def local_decode_many(self, index: int, values: np.ndarray,
                           seed: int) -> np.ndarray:
         """Decode the same message coordinate from many independent query
@@ -269,28 +298,30 @@ class ReedMullerLDC(LocallyDecodableCode):
         explains all q values; only inconsistent (i.e. corrupted) rows pay
         for Berlekamp–Welch.  Rows that fail BW come back as -1.
         """
-        values = np.asarray(values, dtype=np.int64) % self.p
+        values = np.asarray(values, dtype=np.int64)
         if values.ndim != 2 or values.shape[1] != self.p - 1:
             raise ValueError(f"expected shape (*, {self.p - 1})")
-        ts = np.arange(1, self.p, dtype=np.int64)
+        # skip the reduction write pass when the rows are already reduced
+        # (the common case: symbols straight off the wire)
+        if values.size and (values.min() < 0 or values.max() >= self.p):
+            values = values % self.p
         d = self.degree
-        # interpolation operator through the first d+1 points
-        head = ts[:d + 1]
-        vander = np.ones((d + 1, d + 1), dtype=np.int64)
-        for j in range(1, d + 1):
-            vander[:, j] = vander[:, j - 1] * head % self.p
-        inverse = np.stack(
-            [self.field.solve(vander, np.eye(d + 1, dtype=np.int64)[:, j])
-             for j in range(d + 1)], axis=1)
-        coeffs = self.field.matmul(values[:, :d + 1], inverse.T)
-        # predictions at all q points
-        full_vander = np.ones((self.p - 1, d + 1), dtype=np.int64)
-        for j in range(1, d + 1):
-            full_vander[:, j] = full_vander[:, j - 1] * ts % self.p
-        predicted = self.field.matmul(coeffs, full_vander.T)
-        clean = np.all(predicted == values, axis=1)
-        out = np.full(values.shape[0], -1, dtype=np.int64)
-        out[clean] = coeffs[clean, 0]
+        inverse, full_vander, predict_tail_f, c0_f = self._line_operators()
+        if self.p * self.p * (d + 1) < 1 << 53:
+            # one BLAS product head -> tail predictions; exact in float64
+            head_f = values[:, :d + 1].astype(np.float64)
+            predicted = np.remainder(head_f @ predict_tail_f, float(self.p))
+            clean = np.all(predicted == values[:, d + 1:], axis=1)
+            c0 = np.remainder(head_f @ c0_f, float(self.p))
+            out = np.full(values.shape[0], -1, dtype=np.int64)
+            out[clean] = c0[clean].astype(np.int64)
+        else:
+            coeffs = self.field.matmul(values[:, :d + 1], inverse.T)
+            # predictions at all q points
+            predicted = self.field.matmul(coeffs, full_vander.T)
+            clean = np.all(predicted == values, axis=1)
+            out = np.full(values.shape[0], -1, dtype=np.int64)
+            out[clean] = coeffs[clean, 0]
         for row in np.flatnonzero(~clean):
             try:
                 out[row] = self.local_decode(index, values[row], seed)

@@ -57,7 +57,9 @@ from repro.core.protocol import (
 from repro.core.routing import SuperMessage, SuperMessageRouter, broadcast
 from repro.fields.gfp import is_prime
 from repro.obs import metrics, tracing
-from repro.sketch.ksparse import KSparseSketch, SketchRecoveryError, SketchSpec
+from repro.sketch.ksparse import (KSparseSketch, SketchPlaneStack,
+                                  SketchRecoveryError, SketchSpec,
+                                  planes_supported)
 from repro.utils.bits import pack_symbols, unpack_symbols
 from repro.utils.rng import derive, fresh_seed
 
@@ -245,8 +247,10 @@ class AdaptiveAllToAll(AllToAllProtocol):
 
         # P_j[i] builds Sk(P_j, {v}) for each v in S_i from the *true*
         # messages it received through the resilient routing; each holder's
-        # group block unpacks in one batched call, the remaining loop is the
-        # sketch updates themselves
+        # group block unpacks in one batched call, and on the plane fast
+        # path every (u, v) element of the block is hashed in one shot
+        # (one lockstep sketch stack per block, one column per target v)
+        use_planes = planes_supported(spec)
         sketch_bits = {}  # (j, v) -> t_pad bits
         with tracing.maybe_span("adaptive/sketch-build"), \
                 metrics.timed("adaptive.sketch_build"):
@@ -259,13 +263,25 @@ class AdaptiveAllToAll(AllToAllProtocol):
                     # row per source u in P_j, column per target v in S_i
                     values_ji = unpack_rows(stacked, num_parts, width)
                     base = int(segments[i][0])
+                    if use_planes:
+                        seg = segments[i].astype(np.int64)
+                        ids = ((group[:, None] * n + seg[None, :]) << width) \
+                            | values_ji.astype(np.int64)
+                        stack = SketchPlaneStack(spec, [r2] * seg.size)
+                        stack.add_many_lockstep(ids.T, 1)
+                        block_bits = stack.to_bits_many()
+                        padded = np.zeros((seg.size, t_pad), dtype=np.uint8)
+                        padded[:, :t_bits] = block_bits
+                        for v_idx in range(seg.size):
+                            sketch_bits[(j, int(seg[v_idx]))] = padded[v_idx]
+                        continue
+                    # scalar parity oracle: element ids exceed int64 once
+                    # width + 2*log2(n) >= 63, so this arithmetic must
+                    # stay in Python ints (the subtraction path in
+                    # Step IV uses the same form)
                     for v in segments[i]:
                         v = int(v)
                         sk = KSparseSketch(spec, r2)
-                        # element ids exceed int64 once
-                        # width + 2*log2(n) >= 63, so this arithmetic must
-                        # stay in Python ints (the subtraction path in
-                        # Step IV uses the same form)
                         column = values_ji[:, v - base]
                         for row, u in enumerate(group):
                             element = ((int(u) * n + v) << width) \
@@ -477,35 +493,62 @@ class AdaptiveAllToAll(AllToAllProtocol):
         failed_sketches = 0
         with tracing.maybe_span("adaptive/sketch-subtract"), \
                 metrics.timed("adaptive.sketch_subtract"):
-            for v in range(n):
-                for j in range(num_parts):
-                    if not sketch_ok[(j, v)]:
-                        failed_sketches += 1
-                        continue
-                    try:
-                        sk = KSparseSketch.from_bits(
-                            spec, r2, decoded_sketches[(j, v)][:t_bits])
-                        for u in members[j]:
-                            u = int(u)
-                            element = (u * n + v) * (1 << width) \
-                                + int(tilde[u, v])
-                            sk.add(element, -1)
-                        survivors = sk.recover()
-                    except (SketchRecoveryError, ValueError):
-                        failed_sketches += 1
-                        continue
-                    for element, frequency in survivors.items():
-                        if frequency != 1:
-                            continue  # -1 entries are v's own wrong copies
-                        payload_val = element % (1 << width)
-                        pair = element >> width
-                        u, v_check = divmod(pair, n)
-                        if v_check != v or not (0 <= u < n):
+            survivors_per_key = []  # ((j, v), {element: frequency}) pairs
+            if use_planes:
+                # every decodable sketch subtracts its group's received
+                # copies in one lockstep stack (each has exactly one id per
+                # group member); only the peel itself stays per-sketch
+                ok_keys = [(j, v) for v in range(n) for j in range(num_parts)
+                           if sketch_ok[(j, v)]]
+                failed_sketches += n * num_parts - len(ok_keys)
+                if ok_keys:
+                    stack = SketchPlaneStack.from_bits_many(
+                        spec, [r2] * len(ok_keys),
+                        np.stack([decoded_sketches[key][:t_bits]
+                                  for key in ok_keys]))
+                    members_matrix = np.stack(members).astype(np.int64)
+                    sources = members_matrix[
+                        np.array([j for j, _ in ok_keys])]
+                    targets = np.array([v for _, v in ok_keys],
+                                       dtype=np.int64)[:, None]
+                    ids = ((sources * n + targets) << width) \
+                        | tilde[sources, targets]
+                    stack.add_many_lockstep(ids, -1)
+                    for key, outcome in zip(ok_keys, stack.recover_many()):
+                        if isinstance(outcome, SketchRecoveryError):
+                            failed_sketches += 1
+                        else:
+                            survivors_per_key.append((key, outcome))
+            else:
+                for v in range(n):
+                    for j in range(num_parts):
+                        if not sketch_ok[(j, v)]:
+                            failed_sketches += 1
                             continue
-                        if int(part_of[u]) != j:
-                            continue
-                        beliefs[u, v] = payload_val
-                        recovered_count += 1
+                        try:
+                            sk = KSparseSketch.from_bits(
+                                spec, r2, decoded_sketches[(j, v)][:t_bits])
+                            for u in members[j]:
+                                u = int(u)
+                                element = (u * n + v) * (1 << width) \
+                                    + int(tilde[u, v])
+                                sk.add(element, -1)
+                            survivors_per_key.append(((j, v), sk.recover()))
+                        except (SketchRecoveryError, ValueError):
+                            failed_sketches += 1
+            for (j, v), survivors in survivors_per_key:
+                for element, frequency in survivors.items():
+                    if frequency != 1:
+                        continue  # -1 entries are v's own wrong copies
+                    payload_val = element % (1 << width)
+                    pair = element >> width
+                    u, v_check = divmod(pair, n)
+                    if v_check != v or not (0 <= u < n):
+                        continue
+                    if int(part_of[u]) != j:
+                        continue
+                    beliefs[u, v] = payload_val
+                    recovered_count += 1
 
         self.diagnostics = {
             "num_parts": num_parts,

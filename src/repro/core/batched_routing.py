@@ -31,7 +31,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.cliquesim.batched import BatchedClique
-from repro.core.profiles import ProtocolProfile, SIMULATION
+from repro.core.profiles import ProfileError, ProtocolProfile, SIMULATION
 from repro.core.routing import (
     MessageKey,
     RoutingResult,
@@ -97,6 +97,233 @@ class SharedRoutingResult:
         return self._assemble(rows, slots, targets.size)
 
 
+@dataclass
+class GroupedRoutingResult:
+    """Result of :meth:`BatchedRouter.route_grouped`: decoded chunk rows in
+    one canonical chunk order shared by every trial.  ``decoded[t, c]`` is
+    trial ``t``'s decode of chunk ``c``; chunks map back to messages through
+    ``chunk_msg`` / ``chunk_start`` / ``chunk_size``."""
+
+    decoded: np.ndarray        # (trials, C, capacity) uint8
+    failed: np.ndarray         # (trials, C) bool decode-failure flags
+    chunk_msg: np.ndarray      # (C,) canonical message index of each chunk
+    chunk_start: np.ndarray    # (C,) bit offset of the chunk in its message
+    chunk_size: np.ndarray     # (C,) chunk payload bits
+    sizes: np.ndarray          # (M,) message bit lengths
+    rounds: int
+    batches: int
+    codeword_bits: int
+    dropped: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+
+    def message_bits(self) -> np.ndarray:
+        """``(trials, M, Lmax)`` received bits — message ``m``'s row is what
+        its (single) target decoded, chunks concatenated in index order
+        exactly as the serial reassembly concatenates them."""
+        trials = self.decoded.shape[0]
+        out = np.zeros((trials, self.sizes.size, int(self.sizes.max())),
+                       dtype=np.uint8)
+        # chunks sharing (start, size) scatter as one slice write
+        for start in np.unique(self.chunk_start):
+            sel = np.flatnonzero(self.chunk_start == start)
+            for size in np.unique(self.chunk_size[sel]):
+                sub = sel[self.chunk_size[sel] == size]
+                out[:, self.chunk_msg[sub], start:start + int(size)] = \
+                    self.decoded[:, sub, :int(size)]
+        return out
+
+
+def _grouped_greedy(srcs: np.ndarray, tgts: np.ndarray, counts: np.ndarray,
+                    num_blocks: int):
+    """Message-run formulation of the serial scheduler's greedy: place each
+    message's chunk run by taking the lowest free blocks of each feasible
+    batch, which is placement-for-placement what
+    :meth:`SuperMessageRouter._schedule_blocks` does chunk by chunk
+    (consecutive chunks of one message share (source, target), so the
+    reference's run-cache takes exactly the lowest remaining free bits).
+    Single-target messages only.  Returns per-chunk (batch, block) arrays
+    in the given message order plus the batch count."""
+    full = (1 << num_blocks) - 1
+    nodes = int(max(srcs.max(), tgts.max())) + 1 if srcs.size else 1
+    # per-node occupancy columns as plain Python int lists, grown lazily
+    # (an index past a column's length reads as 0) — scalar probes and
+    # updates on them are several times cheaper than numpy item access
+    src_cols: List[List[int]] = [[] for _ in range(nodes)]
+    tgt_cols: List[List[int]] = [[] for _ in range(nodes)]
+    num_batches = 0
+    first_open: Dict[int, int] = defaultdict(int)
+    run_batch: List[int] = []
+    run_mask: List[int] = []
+    run_take: List[int] = []
+    prev_key = None
+    prev_batch = -1
+    prev_free = 0
+    srcs_l = srcs.tolist()
+    tgts_l = tgts.tolist()
+    counts_l = counts.tolist()
+    for m in range(len(srcs_l)):
+        src = srcs_l[m]
+        tgt = tgts_l[m]
+        remaining = counts_l[m]
+        key = (src, tgt)
+        scol = src_cols[src]
+        tcol = tgt_cols[tgt]
+        # a run only ever conflicts with its *own* placements, so the open
+        # suffix seen at run start stays valid for the whole run: the
+        # reference greedy's later scans (always from prev_batch + 1) see
+        # exactly these masks
+        if key == prev_key:
+            scan_from = prev_batch + 1
+            if prev_free:
+                take = min(remaining, prev_free.bit_count())
+                mask = 0
+                rest = prev_free
+                for _ in range(take):
+                    bit = rest & -rest
+                    mask |= bit
+                    rest &= ~bit
+                run_batch.append(prev_batch)
+                run_mask.append(mask)
+                run_take.append(take)
+                scol[prev_batch] |= mask
+                tcol[prev_batch] |= mask
+                prev_free = rest
+                remaining -= take
+        else:
+            fo = first_open[src]
+            ls = len(scol)
+            while fo < num_batches and fo < ls and scol[fo] == full:
+                fo += 1
+            first_open[src] = fo
+            scan_from = fo
+        if remaining and scan_from < num_batches \
+                and remaining <= 4 * num_blocks:
+            # short run: a scalar scan with early exit (the first open
+            # batch is almost always within a step or two).  If the scan
+            # runs dry every batch past scan_from is closed for this key,
+            # so falling through to the append path is correct.
+            ls = len(scol)
+            lt = len(tcol)
+            for batch_index in range(scan_from, num_batches):
+                used = (scol[batch_index] if batch_index < ls else 0) \
+                    | (tcol[batch_index] if batch_index < lt else 0)
+                free = ~used & full
+                if not free:
+                    continue
+                pc = free.bit_count()
+                if remaining < pc:
+                    take = remaining
+                    mask = 0
+                    rest = free
+                    for _ in range(take):
+                        bit = rest & -rest
+                        mask |= bit
+                        rest &= ~bit
+                else:
+                    take = pc
+                    mask = free
+                    rest = 0
+                run_batch.append(batch_index)
+                run_mask.append(mask)
+                run_take.append(take)
+                if batch_index >= ls:
+                    scol.extend([0] * (batch_index + 1 - ls))
+                    ls = batch_index + 1
+                if batch_index >= lt:
+                    tcol.extend([0] * (batch_index + 1 - lt))
+                    lt = batch_index + 1
+                scol[batch_index] |= mask
+                tcol[batch_index] |= mask
+                prev_batch = batch_index
+                prev_free = rest
+                remaining -= take
+                if not remaining:
+                    break
+        elif remaining and scan_from < num_batches:
+            ls = len(scol)
+            lt = len(tcol)
+            open_masks = np.array(
+                [~((scol[b] if b < ls else 0)
+                   | (tcol[b] if b < lt else 0)) & full
+                 for b in range(scan_from, num_batches)], dtype=np.int64)
+            nz = np.flatnonzero(open_masks)
+            if nz.size:
+                free_m = open_masks[nz]
+                pc = np.bitwise_count(free_m).astype(np.int64)
+                cum = np.cumsum(pc)
+                k = int(np.searchsorted(cum, remaining))
+                if k >= nz.size:
+                    # every open batch is fully consumed
+                    use_b = (scan_from + nz).tolist()
+                    use_m = free_m.tolist()
+                    use_t = pc.tolist()
+                    remaining -= int(cum[-1])
+                    prev_free = 0
+                else:
+                    # batches before k are fully consumed; batch k takes
+                    # its lowest remaining bits
+                    use_b = (scan_from + nz[:k + 1]).tolist()
+                    use_m = free_m[:k + 1].tolist()
+                    use_t = pc[:k + 1].tolist()
+                    last_take = remaining - (int(cum[k - 1]) if k else 0)
+                    mask = 0
+                    rest = int(free_m[k])
+                    for _ in range(last_take):
+                        bit = rest & -rest
+                        mask |= bit
+                        rest &= ~bit
+                    use_m[k] = mask
+                    use_t[k] = last_take
+                    prev_free = rest
+                    remaining = 0
+                prev_batch = use_b[-1]
+                run_batch.extend(use_b)
+                run_mask.extend(use_m)
+                run_take.extend(use_t)
+                top = use_b[-1] + 1
+                if top > ls:
+                    scol.extend([0] * (top - ls))
+                if top > lt:
+                    tcol.extend([0] * (top - lt))
+                for b, mk in zip(use_b, use_m):
+                    scol[b] |= mk
+                    tcol[b] |= mk
+        if remaining:
+            # nothing open at or past the scan head: the reference greedy
+            # appends one batch per iteration, each taking the lowest
+            # remaining bits — place the whole tail at once
+            n_full, leftover = divmod(remaining, num_blocks)
+            if n_full:
+                run_batch.extend(range(num_batches, num_batches + n_full))
+                run_mask.extend([full] * n_full)
+                run_take.extend([num_blocks] * n_full)
+                scol.extend([0] * (num_batches - len(scol)))
+                scol.extend([full] * n_full)
+                tcol.extend([0] * (num_batches - len(tcol)))
+                tcol.extend([full] * n_full)
+                num_batches += n_full
+                prev_batch = num_batches - 1
+                prev_free = 0
+            if leftover:
+                mask = (1 << leftover) - 1
+                run_batch.append(num_batches)
+                run_mask.append(mask)
+                run_take.append(leftover)
+                scol.extend([0] * (num_batches - len(scol)))
+                scol.append(mask)
+                tcol.extend([0] * (num_batches - len(tcol)))
+                tcol.append(mask)
+                prev_batch = num_batches
+                prev_free = full & ~mask
+                num_batches += 1
+        prev_key = key
+    takes = np.array(run_take, dtype=np.int64)
+    batch_out = np.repeat(np.array(run_batch, dtype=np.int64), takes)
+    bit_rows = (np.array(run_mask, dtype=np.int64)[:, None]
+                >> np.arange(num_blocks)[None, :]) & 1
+    block_out = np.nonzero(bit_rows)[1]  # row-major: ascending per run
+    return batch_out, block_out, num_batches
+
+
 class BatchedRouter:
     """Executes one routing instance per trial, lockstep over the batch."""
 
@@ -135,6 +362,204 @@ class BatchedRouter:
                                    messages=len(messages) * self.net.trials,
                                    trials=self.net.trials):
             return self._route_shared(messages, bits_stack, label)
+
+    def route_grouped(self, sources: np.ndarray, slots: np.ndarray,
+                      sizes: np.ndarray, targets: np.ndarray,
+                      bits_stack: np.ndarray,
+                      label: str = "routing") -> GroupedRoutingResult:
+        """Grouped fast path for *structure-shared* routings with per-trial
+        node ids: every trial sends the same number of messages with the
+        same bit lengths and slots, but message ``m``'s source and (single)
+        target node are per-trial values ``sources[t, m]`` /
+        ``targets[t, m]`` (e.g. the adaptive compiler's partition-dependent
+        concentration and gather steps).
+
+        Chunk structure (counts, offsets, sizes) is computed once; each
+        trial's greedy schedule runs at message-run granularity
+        (:func:`_grouped_greedy`), placement-for-placement identical to the
+        serial scheduler on that trial's key-sorted message list.  Waves
+        execute as single array programs over all trials.  Raises
+        :class:`CellUnbatchable` when per-trial batch counts diverge."""
+        with metrics.timed("routing.route"), \
+                tracing.maybe_span(f"{label}/route",
+                                   messages=int(np.asarray(sizes).size)
+                                   * self.net.trials,
+                                   trials=self.net.trials):
+            return self._route_grouped(sources, slots, sizes, targets,
+                                       bits_stack, label)
+
+    def _route_grouped(self, sources, slots, sizes, targets, bits_stack,
+                       label) -> GroupedRoutingResult:
+        net = self.net
+        n, trials = net.n, net.trials
+        sources = np.asarray(sources, dtype=np.int64)
+        slots = np.asarray(slots, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        bits_stack = np.ascontiguousarray(bits_stack, dtype=np.uint8)
+        num_messages = sizes.size
+        if sources.shape != (trials, num_messages) \
+                or targets.shape != (trials, num_messages) \
+                or slots.shape != (num_messages,):
+            raise ValueError("sources/targets must be (trials, M), "
+                             "slots (M,)")
+        if bits_stack.ndim != 3 or bits_stack.shape[:2] != (trials,
+                                                            num_messages):
+            raise ValueError(
+                f"bits_stack must be (trials={trials}, M={num_messages}, "
+                f"Lmax); got {bits_stack.shape}")
+        if num_messages == 0 or sizes.min() < 1:
+            raise ValueError("grouped routing needs non-empty messages")
+        length, code = self.profile.select_routing_code(
+            n, net.adversary.alpha)
+        capacity = max(1, code.k)
+        num_blocks = n // length
+        if num_blocks < 1:
+            raise ProfileError("codeword longer than the network")
+        if num_blocks > 62:
+            raise CellUnbatchable(
+                "grouped scheduler handles at most 62 relay blocks")
+
+        # canonical chunk arrays, shared by every trial
+        n_chunks = -(-sizes // capacity)
+        total_chunks = int(n_chunks.sum())
+        chunk_msg = np.repeat(np.arange(num_messages), n_chunks)
+        c_start = np.cumsum(n_chunks) - n_chunks
+        within = np.arange(total_chunks) - np.repeat(c_start, n_chunks)
+        chunk_start = within * capacity
+        chunk_size = np.minimum(capacity, sizes[chunk_msg] - chunk_start)
+
+        # per-trial schedules at message-run granularity, scattered into
+        # the canonical chunk numbering through each trial's key order
+        chunk_batch = np.empty((trials, total_chunks), dtype=np.int64)
+        chunk_block = np.empty((trials, total_chunks), dtype=np.int64)
+        batch_counts = set()
+        num_batches = 0
+        for t in range(trials):
+            order = np.lexsort((slots, sources[t]))
+            so = sources[t][order]
+            sl = slots[order]
+            if np.any((so[1:] == so[:-1]) & (sl[1:] == sl[:-1])):
+                raise ValueError("duplicate super-message key in trial "
+                                 f"{t}")
+            batch_o, block_o, num_batches = _grouped_greedy(
+                so, targets[t][order], n_chunks[order], num_blocks)
+            counts_o = n_chunks[order]
+            canon = np.repeat(c_start[order], counts_o) \
+                + (np.arange(total_chunks)
+                   - np.repeat(np.cumsum(counts_o) - counts_o, counts_o))
+            chunk_batch[t, canon] = batch_o
+            chunk_block[t, canon] = block_o
+            batch_counts.add(num_batches)
+        if len(batch_counts) > 1:
+            raise CellUnbatchable(
+                f"per-trial schedules diverge: batch counts "
+                f"{sorted(batch_counts)}")
+
+        start_rounds = net.rounds_used
+        decoded_all = np.zeros((trials, total_chunks, capacity),
+                               dtype=np.uint8)
+        failed_all = np.zeros((trials, total_chunks), dtype=bool)
+        dropped = np.zeros(trials, dtype=np.int64)
+        bandwidth = net.bandwidth
+        arange_cap = np.arange(capacity)
+        arange_len = np.arange(length)
+        # pad with a zero tail so the final partial chunk of each message can
+        # gather a full capacity-wide window without per-wave index clamping
+        bits_padded = np.concatenate(
+            [bits_stack, np.zeros(bits_stack.shape[:2] + (capacity,),
+                                  dtype=np.uint8)], axis=2)
+        for wave_start in range(0, num_batches, bandwidth):
+            hi = min(wave_start + bandwidth, num_batches)
+            plane_count = hi - wave_start
+            wl = f"{label}/wave{wave_start // bandwidth}"
+            sel = (chunk_batch >= wave_start) & (chunk_batch < hi)
+            tr, ch = np.nonzero(sel)
+            planes = chunk_batch[tr, ch] - wave_start
+            blocks = chunk_block[tr, ch]
+            msgs = chunk_msg[ch]
+            srcs = sources[tr, msgs]
+            tgts = targets[tr, msgs]
+            starts = chunk_start[ch]
+            sz = chunk_size[ch]
+
+            # vectorized payload gather + one batched encode for the wave
+            col = starts[:, None] + arange_cap[None, :]
+            valid = arange_cap[None, :] < sz[:, None]
+            padded = np.where(
+                valid, bits_padded[tr[:, None], msgs[:, None], col], 0)
+            codewords = code.encode_many(padded).astype(np.int64)
+            relay_idx = blocks[:, None] * length + arange_len[None, :]
+
+            # round 1: source -> relay block.  Planes are distinct per
+            # (trial, src, relay) cell — each batch places one block per
+            # source — so OR-merging the shifted codeword bits is a plain
+            # sum, which bincount scatters far faster than ufunc.at
+            # (plane_count <= 62, so the sums are exact in float64)
+            shifted = codewords << planes[:, None]
+            keys1 = (((tr * n + srcs) * n)[:, None] + relay_idx).reshape(-1)
+            if plane_count <= 52:
+                values = np.bincount(
+                    keys1, weights=shifted.reshape(-1),
+                    minlength=trials * n * n).astype(np.int64)\
+                    .reshape(trials, n, n)
+            else:
+                values = np.zeros(trials * n * n, dtype=np.int64)
+                np.bitwise_or.at(values, keys1, shifted.reshape(-1))
+                values = values.reshape(trials, n, n)
+            present = np.zeros(trials * n * n, dtype=bool)
+            present[keys1] = True
+            present = present.reshape(trials, n, n)
+            delivered1 = net.round(np.where(present, values, -1),
+                                   width=plane_count, label=f"{wl}/r1")
+
+            # round 2: relay -> target (single target per chunk)
+            got1 = delivered1[tr[:, None], srcs[:, None], relay_idx]
+            neg1 = got1 < 0
+            if neg1.any():
+                np.add.at(dropped, tr,
+                          np.count_nonzero(neg1, axis=1).astype(np.int64))
+            bits1 = np.where(neg1, 0, (got1 >> planes[:, None]) & 1)
+            shifted1 = bits1 << planes[:, None]
+            keys2 = ((tr[:, None] * n + relay_idx) * n
+                     + tgts[:, None]).reshape(-1)
+            if plane_count <= 52:
+                values2 = np.bincount(
+                    keys2, weights=shifted1.reshape(-1),
+                    minlength=trials * n * n).astype(np.int64)\
+                    .reshape(trials, n, n)
+            else:
+                values2 = np.zeros(trials * n * n, dtype=np.int64)
+                np.bitwise_or.at(values2, keys2, shifted1.reshape(-1))
+                values2 = values2.reshape(trials, n, n)
+            present2 = np.zeros(trials * n * n, dtype=bool)
+            present2[keys2] = True
+            present2 = present2.reshape(trials, n, n)
+            delivered2 = net.round(np.where(present2, values2, -1),
+                                   width=plane_count, label=f"{wl}/r2")
+
+            # decode at every target: one gather + one batched decode
+            got2 = delivered2[tr[:, None], relay_idx, tgts[:, None]]
+            erase2 = got2 < 0
+            any_erased = bool(erase2.any())
+            if any_erased:
+                np.add.at(dropped, tr,
+                          np.count_nonzero(erase2, axis=1).astype(np.int64))
+            bits2 = np.where(erase2, 0,
+                             (got2 >> planes[:, None]) & 1).astype(np.uint8)
+            if any_erased and getattr(code, "supports_erasures", False):
+                decoded, failed = code.decode_many_flagged(bits2,
+                                                           erasures=erase2)
+            else:
+                decoded, failed = code.decode_many_flagged(bits2)
+            decoded_all[tr, ch] = decoded[:, :capacity]
+            failed_all[tr, ch] = np.asarray(failed, dtype=bool)
+
+        return GroupedRoutingResult(
+            decoded=decoded_all, failed=failed_all, chunk_msg=chunk_msg,
+            chunk_start=chunk_start, chunk_size=chunk_size, sizes=sizes,
+            rounds=net.rounds_used - start_rounds, batches=num_batches,
+            codeword_bits=length, dropped=dropped)
 
     def _route_shared(self, messages, bits_stack, label) -> SharedRoutingResult:
         net = self.net

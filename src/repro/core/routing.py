@@ -195,9 +195,100 @@ class SuperMessageRouter:
     def _schedule_blocks(chunks: List[_Chunk],
                          num_blocks: int) -> List[List[Tuple[_Chunk, int]]]:
         """Greedy (batch, block) assignment avoiding same-source-same-block
-        and same-target-same-block conflicts within a batch."""
+        and same-target-same-block conflicts within a batch.
+
+        Bitmask formulation of :meth:`_schedule_blocks_reference` — one
+        int64 mask per (batch, node) replaces the per-block set probes, and
+        each chunk's batch scan is a single vectorized search over the open
+        suffix.  Placements are identical to the reference greedy: the scan
+        order, the lowest-free-block choice and the ``first_open`` advance
+        rule (move past the contiguous run of source-full batches at the
+        scan head) are preserved exactly.
+        """
         if num_blocks < 1:
             raise ProfileError("codeword longer than the network")
+        if num_blocks > 62:  # block masks must fit an int64
+            return SuperMessageRouter._schedule_blocks_reference(chunks,
+                                                                 num_blocks)
+        if not chunks:
+            return []
+        full = (1 << num_blocks) - 1
+        nodes = 1 + max(max(c.source for c in chunks),
+                        max(t for c in chunks for t in c.targets))
+        cap = 64
+        src_used = np.zeros((cap, nodes), dtype=np.int64)
+        tgt_used = np.zeros((cap, nodes), dtype=np.int64)
+        num_batches = 0
+        first_open: Dict[int, int] = defaultdict(int)
+        placements: List[Tuple[_Chunk, int, int]] = []
+        # consecutive chunks of one multi-chunk message share (source,
+        # targets); nothing is placed between them, so the previous chunk's
+        # scan outcome (its batch and the blocks still free there) stays
+        # valid and the run places with pure bit arithmetic
+        prev_key = None
+        prev_batch = -1
+        prev_free = 0
+        for chunk in chunks:
+            src = chunk.source
+            targets = list(chunk.targets)
+            key = (src, chunk.targets)
+            batch_index = -1
+            free_mask = full
+            if key == prev_key and prev_free:
+                batch_index = prev_batch
+                free_mask = prev_free
+            else:
+                if key == prev_key:
+                    scan_from = prev_batch + 1
+                else:
+                    fo = first_open[src]
+                    while fo < num_batches and src_used[fo, src] == full:
+                        fo += 1
+                    first_open[src] = fo
+                    scan_from = fo
+                if scan_from < num_batches:
+                    conflicts = src_used[scan_from:num_batches, src]
+                    if len(targets) == 1:
+                        conflicts = conflicts | tgt_used[
+                            scan_from:num_batches, targets[0]]
+                    else:
+                        conflicts = conflicts | np.bitwise_or.reduce(
+                            tgt_used[scan_from:num_batches, targets], axis=1)
+                    free = ~conflicts & full
+                    hits = np.flatnonzero(free)
+                    if hits.size:
+                        batch_index = scan_from + int(hits[0])
+                        free_mask = int(free[hits[0]])
+                if batch_index < 0:
+                    batch_index = num_batches
+                    num_batches += 1
+                    if num_batches > cap:
+                        cap *= 2
+                        src_used = np.vstack(
+                            [src_used, np.zeros_like(src_used)])
+                        tgt_used = np.vstack(
+                            [tgt_used, np.zeros_like(tgt_used)])
+            block = (free_mask & -free_mask).bit_length() - 1
+            placements.append((chunk, batch_index, block))
+            bit = np.int64(1 << block)
+            src_used[batch_index, src] |= bit
+            for t in targets:
+                tgt_used[batch_index, t] |= bit
+            prev_key = key
+            prev_batch = batch_index
+            prev_free = free_mask & ~(1 << block)
+        batches: List[List[Tuple[_Chunk, int]]] = \
+            [[] for _ in range(num_batches)]
+        for chunk, batch_index, block in placements:
+            batches[batch_index].append((chunk, block))
+        return batches
+
+    @staticmethod
+    def _schedule_blocks_reference(chunks: List[_Chunk],
+                                   num_blocks: int
+                                   ) -> List[List[Tuple[_Chunk, int]]]:
+        """Original set-based greedy; the oracle `_schedule_blocks` must
+        match placement-for-placement (and the >62-block fallback)."""
         batches: List[List[Tuple[_Chunk, int]]] = []
         source_used: List[Dict[int, set]] = []
         target_used: List[Dict[int, set]] = []

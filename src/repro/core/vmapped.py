@@ -14,14 +14,23 @@ serial control flow with a leading batch axis:
   outputs are bit-identical to serial ones;
 * when per-trial randomness changes the routing *structure* itself
   (nonadaptive's return step targets depend on the shifts), schedules are
-  still computed per trial with the serial scheduler; if their batch
-  counts diverge the router raises
+  still computed per trial — at message-run granularity through
+  :meth:`~repro.core.batched_routing.BatchedRouter.route_grouped` when the
+  message counts and bit lengths are shared, or with the serial scheduler
+  otherwise; if batch counts diverge the router raises
   :class:`~repro.core.batched_routing.CellUnbatchable` and the caller
-  falls back to per-trial serial execution.
-
-The adaptive compiler is deliberately absent: its interactive
-compile/execute loop branches on per-trial network feedback, so it runs
-through the per-trial fallback of the vmap backend instead.
+  falls back to per-trial serial execution;
+* the adaptive compiler batches natively
+  (:class:`BatchedAdaptiveAllToAll`): its message *structure* (counts,
+  lengths, slots) is partition-independent even though the node ids
+  carrying it are per-trial random, so concentration and gather ride
+  ``route_grouped``, the sketch algebra runs as one
+  :class:`~repro.sketch.ksparse.SketchPlaneStack` across all trials'
+  sketches, and the one genuinely divergent transport — the query-answer
+  exchange, whose width is a per-trial random quantity — uses the ragged
+  tail (:meth:`~repro.cliquesim.batched.BatchedClique.
+  exchange_words_ragged`), after which per-trial round counts come from
+  :attr:`~repro.cliquesim.batched.BatchedClique.rounds_by_trial`.
 """
 
 from __future__ import annotations
@@ -33,15 +42,22 @@ import numpy as np
 
 from repro.adversary.batched import BatchedAdversary
 from repro.cliquesim.batched import BatchedClique
-from repro.cliquesim.topology import flip, sqrt_segments
+from repro.cliquesim.topology import (balanced_random_partition,
+                                      consecutive_segments, flip,
+                                      partition_members, sqrt_segments)
 from repro.coding.linear import best_effort_linear_code
-from repro.core.batched_routing import BatchedRouter, broadcast_many
+from repro.core.adaptive import (AdaptiveAllToAll, AdaptiveParameters,
+                                 design_ldc_for_sketch)
+from repro.core.batched_routing import (BatchedRouter, CellUnbatchable,
+                                        broadcast_many)
 from repro.core.messages import AllToAllInstance, ProtocolReport, verify_beliefs
-from repro.core.profiles import ProtocolProfile, SIMULATION
+from repro.core.profiles import ProfileError, ProtocolProfile, SIMULATION
 from repro.core.protocol import pack_block, pack_rows, unpack_block, unpack_rows
 from repro.core.routing import SuperMessage
-from repro.utils.bits import pack_bits, unpack_bits
-from repro.utils.rng import derive
+from repro.sketch.ksparse import (SketchPlaneStack, SketchRecoveryError,
+                                  SketchSpec, planes_supported)
+from repro.utils.bits import pack_bits, pack_symbols, unpack_bits, unpack_symbols
+from repro.utils.rng import derive, fresh_seed
 
 
 def _common_shape(instances: Sequence[AllToAllInstance], net: BatchedClique,
@@ -304,13 +320,397 @@ class BatchedNonAdaptiveAllToAll:
         return beliefs.reshape(trials, n, n)
 
 
-#: protocols with a native batched port; anything else (notably the
-#: adaptive compiler, whose control flow branches on per-trial feedback)
-#: runs through the vmap backend's per-trial fallback
+class BatchedAdaptiveAllToAll:
+    """Batched :class:`~repro.core.adaptive.AdaptiveAllToAll` (Theorem 1.3).
+
+    The compiler's *structure* — message counts, bit lengths, slot
+    numbering, chunking, sketch geometry, round sequence — depends only on
+    ``(n, width, alpha)``, never on a trial's random partition: each node
+    is a concentration holder for exactly one ``(group, segment)`` cell,
+    leaders and gather groupings are fixed by member *index*, and segment
+    contents are deterministic.  Only the node *ids* carrying that
+    structure are per-trial random, which is exactly the contract of
+    :meth:`~repro.core.batched_routing.BatchedRouter.route_grouped`.  The
+    sketch algebra runs as single :class:`SketchPlaneStack` calls over
+    every (trial, group, target) sketch at once, and LDC encode/decode
+    collapse to whole-batch ``encode_many`` / ``local_decode_many`` calls
+    (line decoding is position-independent, so rows from different trials
+    batch together).
+
+    One transport genuinely diverges: the query-answer exchange, whose
+    width is determined by each trial's R3 query plan.  It runs through
+    :meth:`~repro.cliquesim.batched.BatchedClique.exchange_words_ragged`,
+    so trial round counts (``net.rounds_by_trial``) and bit totals stay
+    serial-identical.
+
+    Per-trial randomness (R1/R2/R3) is drawn from each seed's
+    ``adaptive-randomness`` stream in the serial draw order, so beliefs,
+    rounds, bits and corruption counts are bit-identical to running the
+    trials one at a time.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, profile: ProtocolProfile = SIMULATION,
+                 params: Optional[AdaptiveParameters] = None):
+        self.profile = profile
+        self.params = params or AdaptiveParameters()
+
+    def run_many(self, instances: Sequence[AllToAllInstance],
+                 net: BatchedClique, seeds: Sequence[int]) -> np.ndarray:
+        n, width = _common_shape(instances, net, seeds)
+        trials = net.trials
+        alpha = net.adversary.alpha
+        params = self.params
+        router = BatchedRouter(net, self.profile)
+
+        num_parts = AdaptiveAllToAll._num_parts(n, alpha)
+        part_size = n // num_parts
+        segments = consecutive_segments(n, num_parts)
+        seg_size = num_parts              # |S_i|; there are part_size segments
+        t_idx = np.arange(trials)
+
+        # ===== Step I: direct exchange + randomness broadcast ================
+        stacked = np.stack([inst.messages for inst in instances])
+        tilde = net.exchange(stacked, width=width, label="adaptive/exchange")
+        tilde = np.where(tilde < 0, 0, tilde)
+
+        # serial draw order per trial: R1, R2 now; R3 only after the scatter
+        rngs = [derive(int(s), "adaptive-randomness") for s in seeds]
+        r1_sent = [fresh_seed(g) for g in rngs]
+        r2_sent = [fresh_seed(g) for g in rngs]
+        payload = np.stack([pack_block(np.array([a, b], dtype=np.int64), 63)
+                            for a, b in zip(r1_sent, r2_sent)])
+        got = broadcast_many(router, 0, payload, label="adaptive/seeds")
+        pairs = [unpack_block(got[t, 0], 2, 63) for t in range(trials)]
+        r1 = [int(p[0]) for p in pairs]
+        r2 = [int(p[1]) for p in pairs]
+
+        # ===== Step II(a): per-trial partitions ==============================
+        part_of = np.stack([balanced_random_partition(n, num_parts, s)
+                            for s in r1])
+        members_mat = np.stack(
+            [np.stack(partition_members(part_of[t], num_parts))
+             for t in range(trials)]).astype(np.int64)  # (T, J, part_size)
+
+        # ===== Step II(b): route M(P_j, S_i) to P_j[i] =======================
+        # message m = v * part_size + i (the serial key-sorted order);
+        # structure is shared, targets are per-trial partition members
+        M1 = n * part_size
+        v_of_m = np.repeat(np.arange(n), part_size)
+        i_of_m = np.tile(np.arange(part_size), n)
+        packed1 = pack_rows(
+            stacked.reshape(trials, n, part_size, seg_size)
+            .reshape(trials * M1, seg_size), width)
+        L1 = packed1.shape[1]
+        sources1 = np.broadcast_to(v_of_m, (trials, M1))
+        targets1 = members_mat[t_idx[:, None], part_of[:, v_of_m],
+                               i_of_m[None, :]]
+        routed = router.route_grouped(
+            sources1, i_of_m, np.full(M1, L1, dtype=np.int64), targets1,
+            packed1.reshape(trials, M1, L1), label="adaptive/concentrate")
+        out1 = routed.message_bits()
+        # unpacked1[t, v, i, c] = what P_j[i] received of m[v, segments[i][c]]
+        unpacked1 = unpack_rows(out1.reshape(trials * M1, L1), seg_size,
+                                width).reshape(trials, n, part_size, seg_size)
+
+        # sketch spec + LDC walk-down: identical to serial, shared by trials
+        max_id = n * n * (1 << width) - 1
+        spec = None
+        ldc = None
+        last_error = None
+        for rows in range(params.sketch_rows, 0, -1):
+            for capacity in range(params.sketch_capacity,
+                                  params.min_sketch_capacity - 1, -1):
+                candidate = SketchSpec(
+                    capacity=capacity,
+                    max_id=max_id,
+                    max_abs_count=2 * part_size + 2,
+                    rows=rows,
+                    fingerprint_prime=params.fingerprint_prime)
+                try:
+                    ldc = design_ldc_for_sketch(candidate.total_bits, n,
+                                                alpha, params)
+                    spec = candidate
+                    break
+                except ProfileError as exc:
+                    last_error = exc
+            if spec is not None:
+                break
+        if spec is None:
+            raise last_error
+        if not planes_supported(spec):
+            raise CellUnbatchable(
+                "sketch spec outside the plane fast path; scalar sketches "
+                "run per trial")
+        t_bits = spec.total_bits
+        symbol_bits = (ldc.p - 1).bit_length() - 1
+        wire_bits = (ldc.p - 1).bit_length()
+        t_symbols = -(-t_bits // symbol_bits)
+        t_pad = t_symbols * symbol_bits
+        sketches_per_piece = max(1, (ldc.k * symbol_bits) // t_pad)
+        num_pieces = -(-n // sketches_per_piece)
+        symbols_per_node = -(-ldc.n // n)
+
+        # ===== Step II(c): every (trial, group, target) sketch in one stack ==
+        # ids[t, j, i, c, s] hashes source u = P_j[s]'s received value for
+        # target v = segments[i][c]; row order (t, j, i, c) with v = i*C + c
+        u_idx = members_mat[:, :, None, None, :]              # (T, J, 1, 1, S)
+        v_ids = (np.arange(part_size)[:, None] * seg_size
+                 + np.arange(seg_size)[None, :])              # (I, C) = v
+        vals = unpacked1[t_idx[:, None, None, None, None], u_idx,
+                         np.arange(part_size)[None, None, :, None, None],
+                         np.arange(seg_size)[None, None, None, :, None]]
+        ids_all = ((u_idx * n + v_ids[None, None, :, :, None]) << width) \
+            | vals.astype(np.int64)
+        per_trial = num_parts * part_size * seg_size          # = J * n
+        stack = SketchPlaneStack(
+            spec, [s for t in range(trials) for s in [r2[t]] * per_trial])
+        stack.add_many_lockstep(ids_all.reshape(trials * per_trial,
+                                                part_size), 1)
+        block_bits = stack.to_bits_many()
+        sketch_pad = np.zeros((trials, num_parts, n, t_pad), dtype=np.uint8)
+        sketch_pad[..., :t_bits] = block_bits.reshape(trials, num_parts, n,
+                                                      t_bits)
+
+        # ===== Step II(b) continued: ship sketches to piece leaders ==========
+        # grouping and slot numbering are fixed by member *index*: the
+        # leader of piece ell is P_j[ell mod part_size], members are
+        # id-sorted, so sorting by leader id == sorting by leader index
+        def piece_of(v: int) -> int:
+            return v // sketches_per_piece
+
+        meta = []  # (j, i, l, vs) in the serial gather-dict insertion order
+        for j in range(num_parts):
+            for i in range(part_size):
+                by_l = {}
+                for v in segments[i]:
+                    by_l.setdefault(piece_of(int(v)) % part_size,
+                                    []).append(int(v))
+                for slot, l in enumerate(sorted(by_l)):
+                    meta.append((j, i, l, tuple(sorted(by_l[l])), slot))
+        M2 = len(meta)
+        j_of = np.array([m[0] for m in meta])
+        i_of = np.array([m[1] for m in meta])
+        l_of = np.array([m[2] for m in meta])
+        slots2 = np.array([m[4] for m in meta], dtype=np.int64)
+        sizes2 = np.array([len(m[3]) * t_pad for m in meta], dtype=np.int64)
+        bits2 = np.zeros((trials, M2, int(sizes2.max())), dtype=np.uint8)
+        for m, (j, i, l, vs, slot) in enumerate(meta):
+            bits2[:, m, :sizes2[m]] = \
+                sketch_pad[:, j, list(vs)].reshape(trials, -1)
+        gathered = router.route_grouped(
+            members_mat[:, j_of, i_of], slots2, sizes2,
+            members_mat[:, j_of, l_of], bits2, label="adaptive/gather")
+        gbits = gathered.message_bits()
+
+        # leaders assemble their pieces (every (j, piece) cell exists)
+        piece_data = np.zeros((trials, num_parts, num_pieces, ldc.k),
+                              dtype=np.int64)
+        for m, (j, i, l, vs, slot) in enumerate(meta):
+            for pos, v in enumerate(vs):
+                symbols = unpack_rows(
+                    gbits[:, m, pos * t_pad:(pos + 1) * t_pad],
+                    t_symbols, symbol_bits)
+                offset = (v % sketches_per_piece) * t_symbols
+                piece_data[:, j, piece_of(v),
+                           offset:offset + t_symbols] = symbols
+
+        # ===== Step III: LDC-encode pieces and scatter symbols ===============
+        encoded = ldc.encode_many(
+            (piece_data % ldc.p).reshape(-1, ldc.k)).reshape(
+                trials, num_parts, num_pieces, ldc.n)
+        pieces_of_l = {l: [p for p in range(num_pieces)
+                           if p % part_size == l]
+                       for l in range(part_size)}
+        max_pieces = max(len(v) for v in pieces_of_l.values() if v)
+        scatter_symbols = max_pieces * symbols_per_node
+        scatter_width = scatter_symbols * wire_bits
+        padded_symbols = symbols_per_node * n
+
+        scatter_syms = np.zeros((trials, n, n, scatter_symbols),
+                                dtype=np.int64)
+        scatter_present = np.zeros((trials, n, n), dtype=bool)
+        for j in range(num_parts):
+            for l in range(part_size):
+                pieces = pieces_of_l[l]
+                if not pieces:
+                    continue
+                leaders = members_mat[:, j, l]
+                scatter_present[t_idx, leaders, :] = True
+                for ki, piece in enumerate(pieces):
+                    grid = np.zeros((trials, padded_symbols), dtype=np.int64)
+                    grid[:, :ldc.n] = encoded[:, j, piece]
+                    scatter_syms[t_idx, leaders, :,
+                                 ki * symbols_per_node:
+                                 (ki + 1) * symbols_per_node] = \
+                        grid.reshape(trials, symbols_per_node,
+                                     n).transpose(0, 2, 1)
+        scattered, _ = net.exchange_words(
+            pack_symbols(scatter_syms, wire_bits), scatter_present,
+            scatter_width, label="adaptive/scatter")
+        scattered_syms = unpack_symbols(scattered, scatter_symbols, wire_bits)
+        shards = np.zeros((trials, num_parts, num_pieces, ldc.n),
+                          dtype=np.int64)
+        for j in range(num_parts):
+            for l in range(part_size):
+                pieces = pieces_of_l[l]
+                if not pieces:
+                    continue
+                leaders = members_mat[:, j, l]
+                for ki, piece in enumerate(pieces):
+                    values = scattered_syms[t_idx, leaders, :,
+                                            ki * symbols_per_node:
+                                            (ki + 1) * symbols_per_node]
+                    shards[:, j, piece] = values.transpose(0, 2, 1).reshape(
+                        trials, -1)[:, :ldc.n]
+
+        # ===== Step III continued: R3 broadcast + per-trial query plans ======
+        r3_sent = [fresh_seed(g) for g in rngs]
+        got3 = broadcast_many(
+            router, 0,
+            np.stack([pack_block(np.array([s], dtype=np.int64), 63)
+                      for s in r3_sent]), label="adaptive/r3")
+        r3 = [int(unpack_block(got3[t, 0], 1, 63)[0]) for t in range(trials)]
+
+        idx_count = sketches_per_piece * t_symbols
+        qpos = [[ldc.decode_indices(idx, r3[t]) for idx in range(idx_count)]
+                for t in range(trials)]
+        # per (trial, offset_slot): the (t_symbols, q) position matrix, each
+        # query's holder, and its slot — the rank of the query among the
+        # holder's queries in flat (index, query) order, which is exactly
+        # the serial gather-dict's append order
+        q = ldc.p - 1
+        pos_mats = []
+        hold_info = []
+        for t in range(trials):
+            mats = []
+            infos = []
+            for offset_slot in range(sketches_per_piece):
+                base = offset_slot * t_symbols
+                pos_mat = np.stack(qpos[t][base:base + t_symbols])
+                h_flat = pos_mat.reshape(-1) % n
+                counts = np.bincount(h_flat, minlength=n)
+                offsets = np.cumsum(counts) - counts
+                order = np.argsort(h_flat, kind="stable")
+                rank = np.empty(h_flat.size, dtype=np.int64)
+                rank[order] = np.arange(h_flat.size) \
+                    - np.repeat(offsets, counts)
+                mats.append(pos_mat)
+                infos.append((h_flat, counts, rank))
+            pos_mats.append(mats)
+            hold_info.append(infos)
+        max_slots = np.array(
+            [max(int(info[1].max()) for info in hold_info[t])
+             for t in range(trials)], dtype=np.int64)
+        answer_symbols = max_slots * num_parts
+        answer_widths = answer_symbols * wire_bits  # the PER-TRIAL widths
+
+        # answers stage at the widest trial's symbol count; the ragged
+        # exchange transports only each trial's own answer_widths[t] bits
+        all_nodes = np.arange(n)
+        answer_syms = np.zeros((trials, n, n, int(answer_symbols.max())),
+                               dtype=np.int32)
+        answer_present = np.zeros((trials, n, n), dtype=bool)
+        for t in range(trials):
+            maxs = int(max_slots[t])
+            for offset_slot in range(sketches_per_piece):
+                nodes = all_nodes[all_nodes % sketches_per_piece
+                                  == offset_slot]
+                if nodes.size == 0:
+                    continue
+                h_flat, counts, rank = hold_info[t][offset_slot]
+                piece_stack = shards[t][:, nodes // sketches_per_piece]
+                # every queried position gathered at once, then scattered
+                # into (holder, slot) cells; slot-major then group within a
+                # holder, exactly the serial flattening
+                giant = piece_stack[
+                    :, :, pos_mats[t][offset_slot].reshape(-1)]
+                padded = np.zeros((n, nodes.size, maxs, num_parts),
+                                  dtype=np.int64)
+                padded[h_flat, :, rank] = giant.transpose(2, 1, 0)
+                answer_syms[t][:, nodes, :maxs * num_parts] = \
+                    padded.reshape(n, nodes.size, -1)
+                answer_present[t][:, nodes] = (counts > 0)[:, None]
+        answers, _ = net.exchange_words_ragged(
+            pack_symbols(answer_syms, wire_bits), answer_present,
+            answer_widths, label="adaptive/answers")
+
+        # ===== Step III end: local LDC decoding of own sketch slots ==========
+        # line decoding ignores the queried index and seed (Berlekamp–Welch
+        # over the shared evaluation points), so rows from every trial,
+        # index and group batch into one call per offset slot
+        decoded_sk = np.zeros((trials, num_parts, n, t_pad), dtype=np.uint8)
+        sketch_ok = np.ones((trials, num_parts, n), dtype=bool)
+        for offset_slot in range(sketches_per_piece):
+            nodes = all_nodes[all_nodes % sketches_per_piece == offset_slot]
+            if nodes.size == 0:
+                continue
+            rows_all = np.empty(
+                (trials, t_symbols, nodes.size, num_parts, q),
+                dtype=np.int64)
+            base = offset_slot * t_symbols
+            for t in range(trials):
+                maxs = int(max_slots[t])
+                h_flat, counts, rank = hold_info[t][offset_slot]
+                # one unpack of every (holder, node) answer plane, one
+                # gather back into (index, query) order; slots past a
+                # holder's own count are zero padding and never gathered
+                symbols = unpack_symbols(answers[t][:, nodes],
+                                         maxs * num_parts, wire_bits)\
+                    .reshape(n, nodes.size, maxs, num_parts)
+                block = symbols[h_flat, :, rank]
+                rows_all[t] = block.reshape(t_symbols, q, nodes.size,
+                                            num_parts).transpose(0, 2, 3, 1)
+            decoded = ldc.local_decode_many(
+                base, rows_all.reshape(-1, q), 0).reshape(
+                    trials, t_symbols, nodes.size, num_parts)
+            bad = decoded < 0
+            symbol_arr = ((np.where(bad, 0, decoded)[..., None]
+                           >> np.arange(symbol_bits)[None, None, None, :])
+                          & 1).astype(np.uint8)
+            for si in range(t_symbols):
+                bit_offset = si * symbol_bits
+                decoded_sk[:, :, nodes,
+                           bit_offset:bit_offset + symbol_bits] = \
+                    symbol_arr[:, si].transpose(0, 2, 1, 3)
+                sketch_ok[:, :, nodes] &= ~bad[:, si].transpose(0, 2, 1)
+
+        # ===== Step IV: sketch subtraction and correction ====================
+        beliefs = tilde.copy()
+        tt, jj, vv = np.nonzero(sketch_ok)
+        if tt.size:
+            sub = SketchPlaneStack.from_bits_many(
+                spec, [r2[int(t)] for t in tt],
+                decoded_sk[tt, jj, vv, :t_bits])
+            srcs = members_mat[tt, jj]                       # (R, part_size)
+            ids = ((srcs * n + vv[:, None]) << width) \
+                | tilde[tt[:, None], srcs, vv[:, None]]
+            sub.add_many_lockstep(ids, -1)
+            for r, outcome in enumerate(sub.recover_many()):
+                if isinstance(outcome, SketchRecoveryError):
+                    continue
+                t, j, v = int(tt[r]), int(jj[r]), int(vv[r])
+                for element, frequency in outcome.items():
+                    if frequency != 1:
+                        continue
+                    payload_val = element % (1 << width)
+                    u, v_check = divmod(element >> width, n)
+                    if v_check != v or not (0 <= u < n):
+                        continue
+                    if int(part_of[t, u]) != j:
+                        continue
+                    beliefs[t, u, v] = payload_val
+        return beliefs
+
+
+#: protocols with a native batched port; anything else runs through the
+#: vmap backend's per-trial fallback
 BATCHED_PROTOCOLS: Dict[str, Callable[[], object]] = {
     "nonadaptive": BatchedNonAdaptiveAllToAll,
     "det-logn": BatchedDetLogAllToAll,
     "det-sqrt": BatchedDetSqrtAllToAll,
+    "adaptive": BatchedAdaptiveAllToAll,
 }
 
 
@@ -340,7 +740,7 @@ def run_protocol_many(protocol, instances: Sequence[AllToAllInstance],
             protocol=protocol.name,
             n=n,
             alpha=net.adversary.alpha,
-            rounds=net.rounds_used,
+            rounds=int(net.rounds_by_trial[t]),
             bits_sent=int(net.bits_sent[t]),
             correct_entries=verify_beliefs(instances[t], beliefs[t]),
             total_entries=n * n,

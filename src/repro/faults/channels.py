@@ -272,9 +272,21 @@ class _BatchedChannelBase(BatchedAdversary):
         mask = np.asarray(edges, dtype=bool)
         if self.mode == "erase":
             return np.where(mask, np.int64(-1), intended)
-        all_ones = np.int64((1 << view.width) - 1)
-        flipped = np.where(intended >= 0, intended ^ all_ones, all_ones)
+        flipped = _flip_per_trial(view, intended)
         return np.where(mask, flipped, intended)
+
+
+def _flip_per_trial(view: BatchRoundView, intended: np.ndarray) -> np.ndarray:
+    """All-ones flip at each trial's *own* width.  Ragged exchanges carry a
+    per-trial width in ``view.widths``; flipping at the batch-wide maximum
+    instead would let the engine's clip land a flipped all-ones payload back
+    on ``intended``, diverging from a serial run of that trial."""
+    if view.widths is not None:
+        widths = np.asarray(view.widths, dtype=np.int64)
+        all_ones = ((np.int64(1) << widths) - 1)[:, None, None]
+    else:
+        all_ones = np.int64((1 << view.width) - 1)
+    return np.where(intended >= 0, intended ^ all_ones, all_ones)
 
 
 class BatchedIIDEdgeChannel(_BatchedChannelBase):
@@ -366,6 +378,5 @@ class BatchedByzantineNodeAdversary(BatchedAdversary):
         mask = np.asarray(edges, dtype=bool)
         if self.mode == "erase":
             return np.where(mask, np.int64(-1), intended)
-        all_ones = np.int64((1 << view.width) - 1)
-        flipped = np.where(intended >= 0, intended ^ all_ones, all_ones)
+        flipped = _flip_per_trial(view, intended)
         return np.where(mask, flipped, intended)

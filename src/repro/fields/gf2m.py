@@ -9,11 +9,34 @@ discrete-log tables, all vectorised over numpy ``int64`` arrays.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Sequence
 
 import numpy as np
 
 from repro.obs import metrics
+
+#: default contraction-block target for :meth:`GF2m.matmul`, in elements of
+#: the 3-d log-sum intermediate.  The best value is cache-geometry dependent;
+#: ``repro bench`` probes a few candidates and records the winner, and the
+#: ``REPRO_GF2M_BLOCK`` environment variable overrides it at run time.
+_MATMUL_BLOCK_TARGET = 1 << 21
+
+
+def matmul_block_target() -> int:
+    """Resolve the matmul blocking target, honouring ``REPRO_GF2M_BLOCK``."""
+    env = os.environ.get("REPRO_GF2M_BLOCK")
+    if not env:
+        return _MATMUL_BLOCK_TARGET
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_GF2M_BLOCK must be a positive integer, got {env!r}")
+    if value <= 0:
+        raise ValueError(
+            f"REPRO_GF2M_BLOCK must be a positive integer, got {env!r}")
+    return value
 
 # Primitive polynomials (including the x^m term) for the field sizes we use.
 _PRIMITIVE_POLY: Dict[int, int] = {
@@ -140,7 +163,7 @@ class GF2m:
                           a.shape[0] * a.shape[1] * b.shape[1])
             out = np.zeros((a.shape[0], b.shape[1]), dtype=np.int64)
             contraction = a.shape[1]
-            block = max(1, (1 << 21) // max(1, out.size))
+            block = max(1, matmul_block_target() // max(1, out.size))
             for k0 in range(0, contraction, block):
                 a_blk = a[:, k0:k0 + block]
                 b_blk = b[k0:k0 + block, :]

@@ -109,6 +109,12 @@ class PrimeField:
         A = np.asarray(A, dtype=np.int64) % self.p
         B = np.asarray(B, dtype=np.int64) % self.p
         inner = A.shape[-1]
+        # when every accumulated sum stays below 2^53 the whole product is
+        # exact in float64, and float matmul runs through BLAS — integer
+        # matmul does not; the result is bit-identical to the int64 path
+        if self.p * self.p * inner < 1 << 53:
+            return (A.astype(np.float64) @ B.astype(np.float64))\
+                .astype(np.int64) % self.p
         # each product < p^2 <= 2^62; cap the number of summed terms per block
         max_terms = max(1, (1 << 62) // (self.p * self.p))
         if inner <= max_terms:

@@ -206,6 +206,83 @@ def bench_justesen_decode(count: int, repeats: int) -> Dict:
     return _entry("justesen-decode", count, "words", ref, batched)
 
 
+def bench_sketch_add_many(count: int, repeats: int) -> Dict:
+    """Plane-native sketch updates: one ``SketchPlanes.add_many`` over a
+    whole group of ``(id, frequency)`` pairs, raced against the frozen
+    per-element scalar loop (``KSparseSketch.add`` once per pair — the
+    pre-refactor Step II(c) shape of the adaptive compiler).  Parity is
+    asserted on all three cell planes *and* the recovered support."""
+    from repro.sketch import SketchPlanes, SketchSpec
+
+    # the adaptive compiler's spec shape: M19 fingerprints, pair-id universe
+    spec = SketchSpec(capacity=8, max_id=(1 << 20) - 1, max_abs_count=count,
+                      fingerprint_prime=(1 << 19) - 1)
+    rng = make_rng(108)
+    # cancel-heavy k-sparse workload (the Step IV shape): many updates over
+    # a small support, so the final sketch stays recoverable
+    support = rng.choice(spec.max_id + 1, size=6, replace=False)
+    ids = support[rng.integers(0, support.size, size=count)]
+    freqs = rng.integers(1, 4, size=count) * rng.choice([-1, 1], size=count)
+    ref_sketch = reference.sketch_add_scalar_loop(spec, 9, ids, freqs)
+    planes = SketchPlanes(spec, 9)
+    planes.add_many(ids, freqs)
+    ref_planes = SketchPlanes.from_sketch(ref_sketch)
+    assert np.array_equal(planes.count, ref_planes.count)
+    assert np.array_equal(planes.id_sum, ref_planes.id_sum)
+    assert np.array_equal(planes.fingerprint, ref_planes.fingerprint)
+    assert planes.recover() == ref_sketch.recover()
+
+    def batched_run():
+        fresh = SketchPlanes(spec, 9)
+        fresh.add_many(ids, freqs)
+
+    ref = _best_of(
+        lambda: reference.sketch_add_scalar_loop(spec, 9, ids, freqs), 1)
+    batched = _best_of(batched_run, repeats)
+    return _entry("sketch-add-many", count, "updates", ref, batched)
+
+
+def bench_gf2m_matmul_autotune(count: int, repeats: int) -> Dict:
+    """Blocked GF(2^m) log/antilog matmul at the batched Reed–Solomon
+    syndrome shape, with the contraction-block target autotuned: each probe
+    target is applied through the ``REPRO_GF2M_BLOCK`` override that the
+    kernel reads, timed on identical inputs, and the winner recorded in the
+    bench row.  The "reference" is the kernel at its built-in default
+    target, so the speedup column reports what the autotuned choice buys
+    on this machine (>= 1.0 when the default wins)."""
+    import os
+
+    from repro.fields.gf2m import _MATMUL_BLOCK_TARGET
+
+    field = GF2m(8)
+    rng = make_rng(109)
+    a = rng.integers(0, field.order, size=(count, 60))
+    b = rng.integers(0, field.order, size=(60, 20))
+    expected = field.matmul(a, b)
+    probes = [_MATMUL_BLOCK_TARGET >> 1, _MATMUL_BLOCK_TARGET,
+              _MATMUL_BLOCK_TARGET << 1]
+    timings: Dict[str, float] = {}
+    saved = os.environ.get("REPRO_GF2M_BLOCK")
+    try:
+        for target in probes:
+            os.environ["REPRO_GF2M_BLOCK"] = str(target)
+            assert np.array_equal(field.matmul(a, b), expected)
+            timings[str(target)] = _best_of(lambda: field.matmul(a, b),
+                                            repeats)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_GF2M_BLOCK", None)
+        else:
+            os.environ["REPRO_GF2M_BLOCK"] = saved
+    winner = min(timings, key=timings.get)
+    entry = _entry("gf2m-matmul-autotune", count * 60 * 20, "mul-ops",
+                   timings[str(_MATMUL_BLOCK_TARGET)], timings[winner])
+    entry["block_probes"] = {k: round(v, 6) for k, v in timings.items()}
+    entry["block_winner"] = int(winner)
+    entry["block_default"] = _MATMUL_BLOCK_TARGET
+    return entry
+
+
 def bench_linear_ml_decode(count: int, repeats: int) -> Dict:
     code = best_effort_linear_code(8, 24, seed=0)
     rng = make_rng(105)
@@ -341,6 +418,49 @@ def bench_trial_batch(n: int, trials: int, repeats: int) -> Dict:
     return _entry(f"trial-batch-n{n}", trials, "trials", ref, batched)
 
 
+def bench_adaptive_vmap(smoke: bool, repeats: int) -> Dict:
+    """The tentpole race: a fault-free adaptive campaign cell run through
+    the vmap backend (batched sketch planes, grouped greedy schedules, one
+    tensor program per cell) against the serial per-trial loop on identical
+    specs and seeds.  Store rows must be bit-identical — modulo wall-clock
+    fields — and no trial may have taken the serial-fallback path, so the
+    speedup measures the batched adaptive port itself, not a silent
+    degradation.  Full mode runs the acceptance cell (n=64, 16 trials);
+    smoke floors are measured at n=16."""
+    from repro.experiments import free_grid, run_campaign
+
+    if smoke:
+        spec = free_grid(name="bench-adaptive-vmap", protocols=("adaptive",),
+                         adversaries=("null",), ns=(16,), alphas=(0.0,),
+                         widths=(4,), bandwidths=(8,), replicates=4)
+    else:
+        spec = free_grid(name="bench-adaptive-vmap", protocols=("adaptive",),
+                         adversaries=("null",), ns=(64,), alphas=(0.0,),
+                         widths=(10,), bandwidths=(32,), replicates=16)
+
+    def row_digest(rows) -> str:
+        clean = [{k: v for k, v in row.items()
+                  if k not in ("wall_seconds", "recorded_unix")}
+                 for row in rows]
+        blob = json.dumps(clean, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    # the serial loop is expensive, so its parity pass doubles as the
+    # timing run (matching the repeats=1 reference policy elsewhere)
+    start = time.perf_counter()
+    serial_rows = run_campaign(spec, backend="serial").rows()
+    ref = time.perf_counter() - start
+    vmap_rows = run_campaign(spec, backend="vmap").rows()
+    assert not any("fallback" in row for row in vmap_rows), \
+        "adaptive vmap cell degraded to the serial fallback"
+    assert row_digest(serial_rows) == row_digest(vmap_rows), \
+        "vmap store rows diverged from the serial backend"
+    batched = _best_of(
+        lambda: run_campaign(spec, backend="vmap"), repeats)
+    return _entry("adaptive-vmap-n64", spec.replicates, "trials", ref,
+                  batched)
+
+
 def bench_protocol_end_to_end(protocol_name: str, n: int,
                               bandwidth: int) -> Dict:
     """Fault-free end-to-end run: simulated protocol rounds per second.
@@ -452,6 +572,12 @@ def _suite_plan(suite: str):
             ("linear-ml-decode",
              lambda smoke, r: bench_linear_ml_decode(512 if smoke else 4096,
                                                      r)),
+            ("sketch-add-many",
+             lambda smoke, r: bench_sketch_add_many(2000 if smoke else 20000,
+                                                    r)),
+            ("gf2m-matmul-autotune",
+             lambda smoke, r: bench_gf2m_matmul_autotune(
+                 512 if smoke else 4096, r)),
         ]
     return [
         ("exchange-bits-n64",
@@ -466,6 +592,8 @@ def _suite_plan(suite: str):
          lambda smoke, r: bench_protocol_end_to_end("det-sqrt", 64, 32)),
         ("trial-batch-n64",
          lambda smoke, r: bench_trial_batch(64, 8 if smoke else 32, r)),
+        ("adaptive-vmap-n64",
+         lambda smoke, r: bench_adaptive_vmap(smoke, r)),
     ]
 
 

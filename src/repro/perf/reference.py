@@ -165,6 +165,20 @@ def stage_symbols_uint8(symbols: np.ndarray, sym_bits: int) -> np.ndarray:
     return pack_bits(bits.reshape(symbols.shape[:-1] + (-1,)))
 
 
+def sketch_add_scalar_loop(spec, seed: int, ids: np.ndarray,
+                           freqs: np.ndarray):
+    """The pre-plane sketch update path: one scalar ``KSparseSketch.add``
+    per ``(id, frequency)`` pair, each hashing the element row by row in
+    Python.  Frozen as the reference the vectorised ``SketchPlanes.add_many``
+    group update races."""
+    from repro.sketch import KSparseSketch
+
+    sketch = KSparseSketch(spec, seed)
+    for element_id, freq in zip(ids.tolist(), freqs.tolist()):
+        sketch.add(int(element_id), int(freq))
+    return sketch
+
+
 def exchange_bits_staged(net: CongestedClique, bits: np.ndarray,
                          present: np.ndarray, label: str = "") -> np.ndarray:
     """The seed `exchange_bits`: one ``(n, n, take)`` uint8 staging tensor

@@ -2,11 +2,16 @@
 corrupted messages in the adaptive compiler (Lemma 2.4, Section 5.2)."""
 
 from repro.sketch.onesparse import OneSparseCell
-from repro.sketch.ksparse import KSparseSketch, SketchRecoveryError, SketchSpec
+from repro.sketch.ksparse import (KSparseSketch, SketchPlanes,
+                                  SketchPlaneStack, SketchRecoveryError,
+                                  SketchSpec, planes_supported)
 
 __all__ = [
     "OneSparseCell",
     "KSparseSketch",
+    "SketchPlanes",
+    "SketchPlaneStack",
     "SketchRecoveryError",
     "SketchSpec",
+    "planes_supported",
 ]

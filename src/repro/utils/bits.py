@@ -135,11 +135,12 @@ def pack_symbols(values: np.ndarray, sym_bits: int,
         return out
     if values.min() < 0 or int(values.max()) >> sym_bits:
         raise ValueError(f"values do not fit in {sym_bits} bits")
-    vals = values.astype(np.uint64)
     offsets = np.arange(count, dtype=np.int64) * sym_bits
     word_of = offsets // WORD_BITS          # non-decreasing in j
     shift = (offsets % WORD_BITS).astype(np.uint64)
-    low = vals << shift
+    # cast-and-shift in one ufunc pass (values are validated non-negative,
+    # so the unsafe cast to uint64 is value-preserving)
+    low = np.left_shift(values, shift, dtype=np.uint64, casting="unsafe")
     # every word in range contains at least one symbol start (sym_bits <= 64),
     # so the group boundaries cover 0..word_of[-1] without gaps
     last = int(word_of[-1])
@@ -148,7 +149,7 @@ def pack_symbols(values: np.ndarray, sym_bits: int,
     # carries of symbols straddling a word boundary
     straddle = (offsets % WORD_BITS) + sym_bits > WORD_BITS
     if straddle.any():
-        carry = vals[..., straddle] >> (
+        carry = values[..., straddle].astype(np.uint64) >> (
             np.uint64(WORD_BITS) - shift[straddle])
         targets = word_of[straddle] + 1     # also non-decreasing
         distinct, first = np.unique(targets, return_index=True)

@@ -1,0 +1,119 @@
+"""Plane-native sketch core: `SketchPlanes.add_many` must be the scalar
+`KSparseSketch.add` loop, vectorised — identical planes, identical recovery —
+and `SketchSpec` must reject degenerate layouts loudly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketch.ksparse import (KSparseSketch, SketchPlanes,
+                                  SketchPlaneStack, SketchRecoveryError,
+                                  SketchSpec, planes_supported)
+
+#: a plane-eligible spec (the default 2^61-1 fingerprint prime is scalar-only)
+SPEC = SketchSpec(capacity=6, max_id=10_000, max_abs_count=64,
+                  fingerprint_prime=(1 << 19) - 1)
+
+
+def scalar_reference(spec, seed, updates):
+    sketch = KSparseSketch(spec, seed)
+    for element, frequency in updates:
+        sketch.add(element, frequency)
+    return sketch
+
+
+class TestAddManyParity:
+    @given(st.lists(st.tuples(st.integers(0, SPEC.max_id),
+                              st.integers(-3, 3).filter(lambda f: f != 0)),
+                    min_size=0, max_size=40),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_add_many_matches_elementwise_add(self, updates, seed):
+        ref = scalar_reference(SPEC, seed, updates)
+        planes = SketchPlanes(SPEC, seed)
+        if updates:
+            ids, freqs = zip(*updates)
+            planes.add_many(np.array(ids, dtype=np.int64),
+                            np.array(freqs, dtype=np.int64))
+        mirror = SketchPlanes.from_sketch(ref)
+        np.testing.assert_array_equal(planes.count, mirror.count)
+        np.testing.assert_array_equal(planes.id_sum, mirror.id_sum)
+        np.testing.assert_array_equal(planes.fingerprint, mirror.fingerprint)
+        # and the scalar grid rebuilt from the planes is the reference grid
+        np.testing.assert_array_equal(planes.to_sketch().to_bits(),
+                                      ref.to_bits())
+
+    @given(st.dictionaries(st.integers(0, SPEC.max_id),
+                           st.integers(-3, 3).filter(lambda f: f != 0),
+                           min_size=0, max_size=6),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_add_many_recover_matches_scalar_recover(self, truth, seed):
+        """For k-sparse workloads both paths recover the same multiset —
+        or stall identically (recovery is a deterministic function of the
+        grid, and the grids are equal)."""
+        updates = list(truth.items())
+        ref = scalar_reference(SPEC, seed, updates)
+        planes = SketchPlanes(SPEC, seed)
+        if updates:
+            ids, freqs = zip(*updates)
+            planes.add_many(np.array(ids, dtype=np.int64),
+                            np.array(freqs, dtype=np.int64))
+        try:
+            expected = ref.recover()
+        except SketchRecoveryError:
+            with pytest.raises(SketchRecoveryError):
+                planes.recover()
+            return
+        assert planes.recover() == expected
+
+    def test_cancellation_heavy_workload(self):
+        # many updates, small net support: the Step IV subtraction shape
+        rng = np.random.default_rng(5)
+        support = rng.choice(SPEC.max_id + 1, size=4, replace=False)
+        ids = support[rng.integers(0, 4, size=500)]
+        freqs = rng.choice([-1, 1], size=500).astype(np.int64)
+        planes = SketchPlanes(SPEC, 77)
+        planes.add_many(ids, freqs)
+        ref = scalar_reference(SPEC, 77, zip(ids.tolist(), freqs.tolist()))
+        assert planes.recover() == ref.recover()
+
+    def test_stack_lockstep_matches_per_trial_planes(self):
+        seeds = [3, 3, 9]
+        stack = SketchPlaneStack(SPEC, seeds)
+        rng = np.random.default_rng(11)
+        ids = rng.integers(0, SPEC.max_id + 1, size=(3, 20))
+        stack.add_many_lockstep(ids, 1)
+        for t, seed in enumerate(seeds):
+            solo = SketchPlanes(SPEC, seed)
+            solo.add_many(ids[t], np.ones(20, dtype=np.int64))
+            np.testing.assert_array_equal(stack.count[t], solo.count)
+            np.testing.assert_array_equal(stack.id_sum[t], solo.id_sum)
+            np.testing.assert_array_equal(stack.fingerprint[t],
+                                          solo.fingerprint)
+
+    def test_planes_reject_unsupported_spec(self):
+        wide = SketchSpec(capacity=4, max_id=100, max_abs_count=8)
+        assert not planes_supported(wide)  # 2^61-1 fingerprints: scalar only
+        with pytest.raises(ValueError, match="plane fast path"):
+            SketchPlanes(wide, 0)
+
+
+class TestSketchSpecValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("capacity", 0), ("capacity", -2),
+        ("rows", 0), ("rows", -1),
+        ("max_id", -1),
+        ("max_abs_count", 0),
+        ("fingerprint_prime", 1),
+    ])
+    def test_degenerate_layouts_rejected_naming_field(self, field, value):
+        kwargs = dict(capacity=4, max_id=100, max_abs_count=8)
+        kwargs[field] = value
+        with pytest.raises(ValueError, match=field):
+            SketchSpec(**kwargs)
+
+    def test_valid_spec_accepted(self):
+        spec = SketchSpec(capacity=1, max_id=0, max_abs_count=1, rows=1)
+        assert spec.buckets == 2
